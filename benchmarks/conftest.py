@@ -1,0 +1,21 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one DESIGN.md §3 experiment: it runs the
+experiment once under pytest-benchmark (wall-clock of the whole experiment
+is itself a useful number for a simulator) and prints the result table the
+paper-style analysis reads.  Use ``pytest benchmarks/ --benchmark-only -s``
+to see the tables inline; they are printed to stdout either way.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an experiment exactly once under the benchmark clock."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

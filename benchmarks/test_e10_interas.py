@@ -1,0 +1,14 @@
+"""E10 — Cross-provider VPN (option A): the §5 "multiple carriers" claim."""
+
+from repro.experiments.e10_interas import run_e10
+from repro.metrics.table import print_table
+
+
+def test_e10_interas_table(run_once):
+    rows, summary = run_once(run_e10, measure_s=6.0)
+    print_table(rows, title="E10 — end-to-end QoS across two providers (option A)")
+    print(f"routes exchanged over the border: {summary['routes_exchanged_over_border']}  "
+          f"cross-customer leaks: {summary['cross_customer_leaks']}")
+    assert summary["voice_sla"].conformant
+    assert summary["cross_customer_leaks"] == 0
+    assert summary["routes_exchanged_over_border"] > 0

@@ -1,0 +1,24 @@
+"""E12 — Elastic (closed-loop) traffic: AQM trade-offs and EF protection."""
+
+from repro.experiments.e12_elastic import run_e12a_aqm, run_e12b_voice_vs_elastic
+from repro.metrics.table import print_table
+
+
+def test_e12a_aqm_table(run_once):
+    rows, raw = run_once(run_e12a_aqm, duration_s=15.0)
+    print_table(rows, title="E12a — DropTail vs RED under four Reno flows")
+    by = {r["aqm"]: r for r in rows}
+    # RED cuts the standing queue substantially while keeping the pipe busy.
+    assert by["red"]["p50_delay_ms"] < by["droptail"]["p50_delay_ms"] / 1.5
+    assert by["red"]["utilization%"] > 75
+    assert by["droptail"]["utilization%"] > 85
+
+
+def test_e12b_voice_vs_elastic_table(run_once):
+    rows, raw = run_once(run_e12b_voice_vs_elastic, duration_s=12.0)
+    print_table(rows, title="E12b — EF voice against greedy adaptive flows")
+    by = {r["scheduler"]: r for r in rows}
+    assert by["wfq"]["voice_loss%"] == 0.0
+    assert by["wfq"]["voice_p95_ms"] < by["fifo"]["voice_p95_ms"] / 5
+    # Elastic traffic still fills most of the pipe either way.
+    assert by["wfq"]["elastic_goodput_kbps"] > 3500

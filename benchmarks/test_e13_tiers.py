@@ -1,0 +1,19 @@
+"""E13 — Per-VPN service tiers ("assign a QoS level to an entire VPN")."""
+
+from repro.experiments.e13_tiers import run_e13
+from repro.metrics.table import print_table
+
+
+def test_e13_tiers_table(run_once):
+    rows, raw = run_once(run_e13, measure_s=8.0)
+    print_table(rows, title="E13 — identical workloads, tier-determined outcomes")
+    # The tier, not the application, determines the outcome.
+    assert raw["gold"].loss_ratio == 0.0
+    assert raw["silver"].loss_ratio == 0.0
+    assert raw["bronze"].loss_ratio > 0.1
+    assert raw["gold"].p99_delay_s < raw["bronze"].p99_delay_s / 5
+    # The over-contract gold customer is policed down near its CIR and
+    # cannot hurt the in-contract gold customer.
+    from repro.experiments.e13_tiers import GOLD
+    assert raw["gold-greedy"].throughput_bps < 2.5 * GOLD.cir_bps
+    assert raw["gold"].p99_delay_s < 0.05

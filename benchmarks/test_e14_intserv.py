@@ -1,0 +1,19 @@
+"""E14 — IntServ per-flow vs DiffServ aggregation: quality vs cost."""
+
+from repro.experiments.e14_intserv import run_e14
+from repro.metrics.table import print_table
+
+
+def test_e14_intserv_table(run_once):
+    rows, raw = run_once(run_e14, flow_counts=(8, 32), measure_s=6.0)
+    print_table(rows, title="E14 — per-flow reservations vs class aggregation")
+    by = {(r["arch"], r["flows"]): r for r in rows}
+    # Same protection...
+    for n in (8, 32):
+        assert by[("intserv", n)]["voice_loss%"] == 0.0
+        assert by[("diffserv", n)]["voice_loss%"] == 0.0
+    # ...but IntServ state/messages grow linearly while DiffServ is constant.
+    assert by[("intserv", 32)]["core_state/router"] == 4 * by[("intserv", 8)]["core_state/router"]
+    assert by[("diffserv", 32)]["core_state/router"] == by[("diffserv", 8)]["core_state/router"]
+    assert by[("intserv", 32)]["refresh/30s"] > 0
+    assert by[("diffserv", 32)]["refresh/30s"] == 0

@@ -1,0 +1,36 @@
+"""E2 — Per-class QoS: best-effort IP vs DiffServ vs DiffServ-over-MPLS.
+
+Regenerates the claim-C2 comparison: the same EF/AF/BE mix over a congested
+backbone under the three architectures.
+"""
+
+from repro.experiments.e2_qos import run_e2
+from repro.metrics.table import print_table
+
+
+def test_e2_qos_classes_table(run_once):
+    rows, raw = run_once(run_e2, measure_s=8.0)
+    print_table(rows, title="E2 — per-class delay/jitter/loss by backbone architecture")
+    fifo_voice = raw["ip-fifo"]["voice"]
+    mpls_voice = raw["mpls-diffserv"]["voice"]
+    assert fifo_voice.loss_ratio > 0.05            # plain IP drowns voice
+    assert mpls_voice.loss_ratio == 0.0            # MPLS+DiffServ protects it
+    assert fifo_voice.p99_delay_s / mpls_voice.p99_delay_s > 5
+
+
+def test_e2_load_sweep_figure(run_once):
+    """The E2 figure: voice p99 vs offered BE load (the crossover curve)."""
+    from repro.experiments.e2_qos import run_e2_load_sweep
+
+    rows, raw = run_once(run_e2_load_sweep, loads=(0.5, 0.8, 1.0, 1.2, 1.5),
+                         measure_s=5.0)
+    print_table(rows, title="E2 figure — voice p99 delay vs offered load")
+    fifo = [r for r in rows if r["config"] == "ip-fifo"]
+    mpls = [r for r in rows if r["config"] == "mpls-diffserv"]
+    # FIFO voice delay is monotone in load and explodes past saturation...
+    fifo_delays = [r["voice_p99_ms"] for r in fifo]
+    assert fifo_delays == sorted(fifo_delays)
+    assert fifo_delays[-1] > 10 * fifo_delays[0]
+    # ...while the DiffServ/MPLS curve stays flat.
+    mpls_delays = [r["voice_p99_ms"] for r in mpls]
+    assert max(mpls_delays) < 1.5 * min(mpls_delays)

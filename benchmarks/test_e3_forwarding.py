@@ -1,0 +1,44 @@
+"""E3 — Forwarding cost: LPM trie vs exact-match label lookup (claim C4).
+
+Micro-benchmarks the real data structures at provider-like table sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.e3_forwarding import (
+    build_random_fib,
+    build_random_lfib,
+    run_e3,
+)
+from repro.metrics.table import print_table
+
+
+def test_e3_forwarding_table(run_once):
+    rows, raw = run_once(run_e3, table_sizes=(1_000, 10_000, 50_000))
+    print_table(rows, title="E3 — lookups/second, FIB longest-prefix match vs LFIB")
+    assert all(r["speedup"] > 2 for r in rows)
+
+
+def test_e3_lpm_lookup_rate(benchmark):
+    rng = np.random.default_rng(7)
+    fib, addrs = build_random_fib(10_000, rng)
+    keys = [int(a) for a in rng.choice(addrs, size=5_000)]
+
+    def lookups():
+        for k in keys:
+            fib.lookup(k)
+
+    benchmark(lookups)
+
+
+def test_e3_label_lookup_rate(benchmark):
+    rng = np.random.default_rng(7)
+    lfib, labels = build_random_lfib(10_000)
+    keys = [int(l) for l in rng.choice(labels, size=5_000)]
+
+    def lookups():
+        for k in keys:
+            lfib.lookup(k)
+
+    benchmark(lookups)

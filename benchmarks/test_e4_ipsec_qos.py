@@ -1,0 +1,13 @@
+"""E4 — Encryption vs QoS: IPsec overlay against the MPLS VPN (claim C3)."""
+
+from repro.experiments.e4_ipsec import run_e4
+from repro.metrics.table import print_table
+
+
+def test_e4_ipsec_qos_table(run_once):
+    rows, raw = run_once(run_e4, measure_s=8.0)
+    print_table(rows, title="E4 — tunnel type vs per-class QoS and tunnel cost")
+    assert raw["ipsec-blind"]["voice"].loss_ratio > 0.1     # QoS erased
+    assert raw["ipsec-copy"]["voice"].loss_ratio == 0.0     # copy-out restores
+    assert raw["mpls-vpn"]["voice"].loss_ratio == 0.0       # EXP carries class
+    assert raw["mpls-vpn"]["voice_overhead_bytes"] < raw["ipsec-blind"]["voice_overhead_bytes"]

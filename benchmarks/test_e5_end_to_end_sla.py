@@ -1,0 +1,13 @@
+"""E5 — End-to-end SLA: the §5 chain (CPE CBQ → DSCP → EXP core), ablated."""
+
+from repro.experiments.e5_sla import run_e5
+from repro.metrics.table import print_table
+
+
+def test_e5_end_to_end_sla_table(run_once):
+    rows, raw = run_once(run_e5, measure_s=8.0)
+    print_table(rows, title="E5 — SLA conformance per QoS-chain stage")
+    assert raw["full"]["voice_sla"].conformant
+    assert raw["full"]["data_sla"].conformant
+    for stage in ("none", "cbq-only", "core-only"):
+        assert not raw[stage]["voice_sla"].conformant

@@ -1,0 +1,19 @@
+"""E6 — Traffic engineering on the fish: CSPF tunnels vs shortest path (C7)."""
+
+from repro.experiments.e6_te import run_e6
+from repro.metrics.table import print_table
+
+
+def test_e6_traffic_engineering_table(run_once):
+    rows, raw = run_once(run_e6, measure_s=6.0)
+    print_table(
+        rows,
+        columns=["config", "flow", "loss%", "thru_kbps", "path",
+                 "util_bottom", "util_top"],
+        title="E6 — per-flow goodput and branch utilization",
+    )
+    sp, te = raw["shortest-path"], raw["cspf-te"]
+    assert max(f.loss_ratio for f in sp["flows"]) > 0.2
+    assert all(f.loss_ratio < 0.01 for f in te["flows"])
+    assert te["aggregate_goodput_bps"] > 1.1 * sp["aggregate_goodput_bps"]
+    assert te["util_top"] > 0.2 and sp["util_top"] < 0.01

@@ -1,0 +1,12 @@
+"""E7 — Isolation with overlapping address plans + extranet policy (C5)."""
+
+from repro.experiments.e7_isolation import run_e7
+from repro.metrics.table import print_table
+
+
+def test_e7_isolation_table(run_once):
+    rows, raw = run_once(run_e7, measure_s=3.0)
+    print_table(rows, title="E7 — intra-VPN delivery and cross-VPN leakage")
+    for row in rows:
+        assert row["delivered_cross"] == 0
+        assert row["intra_ratio"] == 1.0

@@ -1,0 +1,13 @@
+"""E8 — Mixed backbone (Fig. 4): labeled and unlabeled paths coexist."""
+
+from repro.experiments.e8_mixed import run_e8
+from repro.metrics.table import print_table
+
+
+def test_e8_mixed_backbone_table(run_once):
+    rows, raw = run_once(run_e8, measure_s=3.0)
+    print_table(rows, title="E8 — delivery and lookup type per path, before/after upgrade")
+    for row in rows:
+        assert row["recv"] == row["sent"]
+    assert raw["mixed"]["census"]["n2.label_lookups"] == 0
+    assert raw["all-mpls"]["census"]["n2.label_lookups"] > 0

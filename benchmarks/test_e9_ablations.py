@@ -1,0 +1,68 @@
+"""E9 — Ablations: schedulers, AQM, EXP/PHP, stack, L-LSP, iBGP topology."""
+
+import pytest
+
+from repro.experiments.e9_ablations import (
+    run_e9a_schedulers,
+    run_e9b_aqm,
+    run_e9c_exp_php,
+    run_e9d_stack_overhead,
+    run_e9e_ibgp,
+)
+from repro.metrics.table import print_table
+
+
+def test_e9a_schedulers_table(run_once):
+    rows, raw = run_once(run_e9a_schedulers, measure_s=6.0)
+    print_table(rows, title="E9a — core scheduler vs EF quality and BE cost")
+    by = {r["scheduler"]: r for r in rows}
+    assert by["fifo"]["voice_loss%"] > 5
+    assert by["wfq"]["voice_loss%"] == 0.0
+    assert by["priority"]["voice_p99_ms"] < by["fifo"]["voice_p99_ms"] / 3
+
+
+def test_e9b_aqm_table(run_once):
+    rows, raw = run_once(run_e9b_aqm, measure_s=6.0)
+    print_table(rows, title="E9b — AQM vs standing-queue delay under bursty AF load")
+    by = {r["aqm"]: r for r in rows}
+    # RED keeps the standing queue (mean delay) below DropTail's.
+    assert by["red"]["mean_delay_ms"] < by["droptail"]["mean_delay_ms"]
+
+
+def test_e9c_exp_php_table(run_once):
+    rows, raw = run_once(run_e9c_exp_php, measure_s=6.0)
+    print_table(rows, title="E9c — EXP placement / PHP vs last-hop voice QoS")
+    by = {r["variant"]: r for r in rows}
+    assert by["both+php"]["voice_loss%"] == 0.0
+    assert by["outer-only+php"]["voice_loss%"] > 5          # the RFC 3270 hole
+    assert by["outer-only+explicit-null"]["voice_loss%"] == 0.0
+
+
+def test_e9d_stack_overhead_table(run_once):
+    rows, raw = run_once(run_e9d_stack_overhead)
+    print_table(rows, title="E9d — wire efficiency vs label-stack depth")
+    effs = [r["eff_1400B"] for r in rows]
+    assert effs == sorted(effs, reverse=True)
+
+
+def test_e9e_ibgp_table(run_once):
+    rows, raw = run_once(run_e9e_ibgp)
+    print_table(rows, title="E9e — iBGP full mesh vs route reflector")
+    by = {(r["pes"], r["topology"]): r for r in rows}
+    assert by[(8, "full-mesh")]["sessions"] == 28
+    assert by[(8, "route-reflector")]["sessions"] == 7
+
+
+def test_e9f_elsp_llsp_table(run_once):
+    from repro.experiments.e9_ablations import run_e9f_elsp_llsp
+
+    rows, raw = run_once(run_e9f_elsp_llsp, measure_s=6.0)
+    print_table(rows, title="E9f — E-LSP (EXP classes) vs L-LSP (per-class LSPs)")
+    by = {r["model"]: r for r in rows}
+    # Same QoS...
+    assert by["l-lsp"]["voice_loss%"] == by["e-lsp"]["voice_loss%"] == 0.0
+    assert by["l-lsp"]["voice_p99_ms"] == pytest.approx(
+        by["e-lsp"]["voice_p99_ms"], rel=0.3
+    )
+    # ...at 3x the label state.
+    assert by["l-lsp"]["lfib_entries"] == 3 * by["e-lsp"]["lfib_entries"]

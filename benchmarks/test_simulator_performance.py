@@ -1,0 +1,52 @@
+"""Simulator performance: events/second and packets/second.
+
+Not a paper experiment — a regression guard for the library itself.  The
+hpc-parallel guidance is measure-first: these benches make the kernel's
+hot loop visible so a future "improvement" that slows packet forwarding
+by 2x gets caught in CI.
+"""
+
+from repro.routing.spf import converge
+from repro.sim.engine import Simulator
+from repro.topology import Network, attach_host, build_line
+from repro.traffic.generators import CbrSource
+from repro.traffic.sink import FlowSink
+
+
+def test_kernel_event_throughput(benchmark):
+    """Pure scheduler churn: schedule + fire 50k chained events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+def test_packet_forwarding_throughput(benchmark):
+    """End-to-end: ~20k packets across a 5-hop routed path."""
+
+    def run():
+        net = Network(seed=3)
+        routers = build_line(net, 5, rate_bps=1e9)
+        tx = attach_host(net, routers[0], "10.200.0.1", name="tx", rate_bps=1e9)
+        rx = attach_host(net, routers[4], "10.200.0.2", name="rx", rate_bps=1e9)
+        converge(net)
+        sink = FlowSink(net.sim).attach(rx)
+        src = CbrSource(net.sim, tx.send, "perf", "10.200.0.1", "10.200.0.2",
+                        payload_bytes=1000, rate_bps=163.2e6)  # ~20k pps for 1s
+        src.start(0.0, stop_at=1.0)
+        net.run(until=1.2)
+        return sink.received("perf")
+
+    received = benchmark(run)
+    assert received > 15_000

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Failure recovery demo: IGP reconvergence vs MPLS fast reroute.
+
+Cuts the fish topology's bottom-branch link mid-call and shows what a
+2 Mb/s flow experiences under three recovery regimes — year-2000 default
+IGP timers (5 s), an aggressively tuned IGP (1 s), and a pre-signaled
+RSVP-TE bypass tunnel with 50 ms loss-of-light detection.  The outage a
+user hears is lost-packets ÷ packet-rate.
+
+Run:  python examples/failover.py
+"""
+
+from repro.experiments.e11_resilience import VARIANTS, run_variant
+from repro.metrics import print_table
+
+
+def main() -> None:
+    rows = []
+    for name, mode, delay in VARIANTS:
+        result = run_variant(name, mode, delay, measure_s=10.0)
+        rows.append(
+            {
+                "recovery": name,
+                "mechanism": "local LFIB rewrite (bypass LSP)" if mode == "frr"
+                             else "flood + SPF rerun + LDP redistribution",
+                "detect+recover_s": delay,
+                "packets_lost": result["lost"],
+                "outage_s": round(result["outage_s"], 3),
+            }
+        )
+    print_table(rows, title="Link failure at t=2.0s, 2 Mb/s CBR probe flow")
+    frr = next(r for r in rows if r["recovery"] == "frr")
+    default = next(r for r in rows if r["recovery"] == "igp-default")
+    print(f"\nFast reroute shortens the outage {default['outage_s'] / frr['outage_s']:.0f}x "
+          f"versus default IGP timers — a local table write instead of a "
+          f"network-wide reconvergence.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Traffic engineering demo: steering VPN tunnels off congested links.
+
+The paper's §5 promise is that MPLS TE lets a provider "avoid congested,
+constrained or disabled links".  This demo runs the classic fish topology
+three ways and prints what happens to three 4 Mb/s flows:
+
+1. Destination-based shortest-path routing: everything piles onto the
+   bottom branch; one third of the traffic is lost.
+2. CSPF + explicit LSPs with bandwidth reservation: the third tunnel is
+   *forced* onto the idle top branch; zero loss.
+3. A bottom-branch link is cut: CSPF re-signals around it; admission
+   control refuses the tunnel that no longer fits instead of letting it
+   wreck the two it can protect.
+
+Run:  python examples/traffic_engineering.py
+"""
+
+from repro.experiments.e6_te import run_config
+from repro.metrics import print_table
+
+
+def main() -> None:
+    rows = []
+    for use_te, fail, note in (
+        (False, False, "everything on the IGP shortest path"),
+        (True, False, "CSPF spreads tunnels by reservation"),
+        (True, True, "G-H link down: reroute + admission control"),
+    ):
+        result = run_config(use_te=use_te, fail_link=fail, measure_s=6.0)
+        print(f"\n=== {result['config']}: {note} ===")
+        for i, (stats, path) in enumerate(zip(result["flows"], result["paths"])):
+            rows.append({
+                "config": result["config"],
+                "flow": stats.flow,
+                "path": "-".join(path),
+                "loss%": round(stats.loss_ratio * 100, 2),
+                "goodput_kbps": round(stats.throughput_bps / 1e3, 1),
+            })
+        print(f"branch utilization: bottom={result['util_bottom']:.2f} "
+              f"top={result['util_top']:.2f}  "
+              f"aggregate goodput={result['aggregate_goodput_bps'] / 1e6:.2f} Mb/s")
+    print_table(rows, title="\nSummary (all configurations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Reproduction of the ICPP 2000 MPLS VPN QoS architecture paper."""

@@ -1,0 +1,176 @@
+"""Command-line runner: ``python -m repro <command> ...``.
+
+Gives downstream users the whole experiment harness without writing code:
+
+    python -m repro list
+    python -m repro run e1 --sites 10 50 200
+    python -m repro run e2 --measure 8
+    python -m repro run all --measure 4
+
+Each experiment prints the same table its benchmark does.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Any, Callable, Sequence
+
+from repro.metrics.table import print_table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_e1(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e1_scalability import run_e1
+    rows, _ = run_e1(site_counts=tuple(args.sites))
+    return rows
+
+
+def _run_e2(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e2_qos import run_e2
+    rows, _ = run_e2(measure_s=args.measure)
+    return rows
+
+
+def _run_e3(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e3_forwarding import run_e3
+    rows, _ = run_e3()
+    return rows
+
+
+def _run_e4(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e4_ipsec import run_e4
+    rows, _ = run_e4(measure_s=args.measure)
+    return rows
+
+
+def _run_e5(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e5_sla import run_e5
+    rows, _ = run_e5(measure_s=args.measure)
+    return rows
+
+
+def _run_e6(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e6_te import run_e6
+    rows, _ = run_e6(measure_s=args.measure)
+    return rows
+
+
+def _run_e7(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e7_isolation import run_e7
+    rows, _ = run_e7(measure_s=min(args.measure, 4.0))
+    return rows
+
+
+def _run_e8(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e8_mixed import run_e8
+    rows, _ = run_e8(measure_s=min(args.measure, 4.0))
+    return rows
+
+
+def _run_e9(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e9_ablations import run_e9
+    out = run_e9(measure_s=args.measure)
+    all_rows: list[dict[str, Any]] = []
+    for name, (rows, _raw) in out.items():
+        print_table(rows, title=f"E9 {name}")
+        all_rows.extend(rows)
+    return []  # already printed per-study
+
+
+def _run_e10(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e10_interas import run_e10
+    rows, summary = run_e10(measure_s=args.measure)
+    rows.append({
+        "flow": "— border control plane —",
+        "sent": summary["routes_exchanged_over_border"],
+        "recv": summary["cross_customer_leaks"],
+    })
+    return rows
+
+
+def _run_e11(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e11_resilience import run_e11
+    rows, _ = run_e11(measure_s=max(args.measure, 8.0))
+    return rows
+
+
+def _run_e12(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e12_elastic import run_e12
+    out = run_e12(duration_s=max(args.measure, 10.0))
+    for name, (rows, _raw) in out.items():
+        print_table(rows, title=f"E12 {name}")
+    return []
+
+
+def _run_e13(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e13_tiers import run_e13
+    rows, _ = run_e13(measure_s=args.measure)
+    return rows
+
+
+def _run_e14(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e14_intserv import run_e14
+    rows, _ = run_e14(measure_s=args.measure)
+    return rows
+
+
+EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[dict[str, Any]]]]] = {
+    "e1": ("scalability: overlay VCs vs MPLS VPN state (§2.1)", _run_e1),
+    "e2": ("per-class QoS: IP vs DiffServ vs MPLS (C2)", _run_e2),
+    "e3": ("forwarding cost: LPM vs label lookup (C4)", _run_e3),
+    "e4": ("encryption vs QoS: IPsec vs MPLS VPN (C3)", _run_e4),
+    "e5": ("end-to-end SLA chain, ablated (§5/C6)", _run_e5),
+    "e6": ("traffic engineering on the fish (C7)", _run_e6),
+    "e7": ("isolation with overlapping addresses (C5)", _run_e7),
+    "e8": ("mixed labeled/unlabeled backbone (Fig. 4)", _run_e8),
+    "e9": ("ablations: schedulers, AQM, PHP/EXP, stack, iBGP", _run_e9),
+    "e10": ("cross-provider VPN, option A (§5)", _run_e10),
+    "e11": ("resilience: IGP reconvergence vs FRR", _run_e11),
+    "e12": ("elastic (TCP-like) traffic: AQM + class protection", _run_e12),
+    "e13": ("per-VPN service tiers: gold/silver/bronze (§2.2)", _run_e13),
+    "e14": ("IntServ per-flow vs DiffServ aggregation cost (§2.2)", _run_e14),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiment runner for the MPLS VPN QoS reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--measure", type=float, default=6.0,
+                     help="measurement window in simulated seconds (default 6)")
+    run.add_argument("--sites", type=int, nargs="+", default=[10, 50, 100, 200],
+                     help="site counts for e1")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name, (desc, _fn) in EXPERIMENTS.items():
+            print(f"  {name:4s} {desc}")
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        desc, fn = EXPERIMENTS[name]
+        print(f"\n=== {name}: {desc} ===")
+        t0 = time.perf_counter()
+        rows = fn(args)
+        if rows:
+            print_table(rows)
+        print(f"[{name} finished in {time.perf_counter() - t0:.1f}s wall clock]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Shared scenario plumbing for the experiment suite.
+
+Experiments are plain functions returning ``(rows, raw)``: ``rows`` is a
+list of flat dicts ready for :func:`repro.metrics.print_table` (the
+"table the paper would have shown"), ``raw`` carries the objects tests
+assert against.  Everything is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.metrics.stats import FlowStats, summarize_flow
+from repro.net.node import Node
+from repro.qos.classifier import mpls_aware_classifier
+from repro.qos.queues import (
+    ClassQueue,
+    DeficitRoundRobin,
+    DropTailFifo,
+    FairQueueing,
+    PriorityScheduler,
+    QueueDiscipline,
+    WeightedRoundRobin,
+)
+from repro.topology import Network
+from repro.traffic.generators import TrafficSource
+from repro.traffic.sink import FlowSink
+
+__all__ = [
+    "ExperimentRun",
+    "make_qdisc_factory",
+    "three_class_queues",
+    "run_and_summarize",
+]
+
+
+def three_class_queues(capacity_packets: int = 100) -> list[ClassQueue]:
+    """EF / AF / BE class queues in the standard order."""
+    return [
+        ClassQueue("EF", capacity_packets=capacity_packets),
+        ClassQueue("AF", capacity_packets=capacity_packets),
+        ClassQueue("BE", capacity_packets=capacity_packets),
+    ]
+
+
+def make_qdisc_factory(
+    kind: str,
+    capacity_packets: int = 100,
+    classify: Callable | None = None,
+    weights: Sequence[float] = (8.0, 4.0, 1.0),
+) -> Callable[[Node, str], QueueDiscipline]:
+    """Factory of per-interface queue disciplines.
+
+    ``kind`` ∈ {"fifo", "priority", "wfq", "drr", "wrr"}.  Classful kinds
+    classify on MPLS EXP when labeled, outer DSCP otherwise — the interior
+    behaviour of claim C6.
+    """
+    cls = classify or mpls_aware_classifier
+
+    def factory(node: Node, ifname: str) -> QueueDiscipline:
+        if kind == "fifo":
+            return DropTailFifo(capacity_packets=capacity_packets)
+        queues = three_class_queues(capacity_packets)
+        if kind == "priority":
+            return PriorityScheduler(queues, cls)
+        if kind == "wfq":
+            return FairQueueing(queues, cls, list(weights))
+        if kind == "drr":
+            # Quanta in bytes; scale weights by one MTU.
+            return DeficitRoundRobin(queues, cls, [int(w * 1500) for w in weights])
+        if kind == "wrr":
+            return WeightedRoundRobin(queues, cls, [max(1, int(w)) for w in weights])
+        raise ValueError(f"unknown qdisc kind {kind!r}")
+
+    return factory
+
+
+@dataclass
+class ExperimentRun:
+    """One simulation run's bookkeeping: sources, sinks, timing."""
+
+    net: Network
+    sources: list[TrafficSource] = field(default_factory=list)
+    sinks: dict[str, FlowSink] = field(default_factory=dict)
+    warmup_s: float = 0.5
+    measure_s: float = 5.0
+
+    def add_source(self, source: TrafficSource, start: float | None = None) -> TrafficSource:
+        """Register and start a source for the measurement window."""
+        self.sources.append(source)
+        begin = self.warmup_s if start is None else start
+        source.start(begin, stop_at=self.warmup_s + self.measure_s)
+        return source
+
+    def sink_at(self, node: Node) -> FlowSink:
+        """One sink per node, shared across flows terminating there."""
+        sink = self.sinks.get(node.name)
+        if sink is None:
+            sink = FlowSink(self.net.sim).attach(node)
+            self.sinks[node.name] = sink
+        return sink
+
+    def execute(self, drain_s: float = 1.0) -> None:
+        """Run warmup + measurement + drain."""
+        self.net.run(self.warmup_s + self.measure_s + drain_s)
+
+    def stats_for(self, source: TrafficSource, sink: FlowSink) -> FlowStats:
+        return summarize_flow(source, sink, duration_s=self.measure_s)
+
+
+def run_and_summarize(
+    run: ExperimentRun,
+    pairs: Sequence[tuple[TrafficSource, FlowSink]],
+    drain_s: float = 1.0,
+) -> list[FlowStats]:
+    """Execute the run and summarize each (source, sink) pair in order."""
+    run.execute(drain_s=drain_s)
+    return [run.stats_for(src, sink) for src, sink in pairs]

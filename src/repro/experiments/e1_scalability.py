@@ -1,0 +1,139 @@
+"""E1 — Control-plane scalability: overlay circuits vs BGP/MPLS VPN state.
+
+Reproduces the paper's §2.1 arithmetic *and* demonstrates it on live
+state: a full-mesh overlay VPN with N sites needs N(N−1)/2 virtual
+circuits (45 at N=10, 19 900 at N=200), each holding state at every hop,
+while the MPLS VPN adds only per-site state at the attachment PEs and
+reuses one shared set of PE–PE LSPs for every customer.
+
+For each N we build both worlds on the same 12-node reference backbone:
+
+* **Overlay**: N CE switches round-robined across the 8 edge routers,
+  then a full mesh of provisioned circuits (state installed hop-by-hop,
+  signaling messages counted).
+* **MPLS VPN**: N sites provisioned into one VPN, LDP tunnels for the PE
+  loopbacks, MP-BGP full mesh across the PEs.
+
+The row compares circuits, total state entries, worst single-node state,
+and control messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.mpls.lsr import Lsr
+from repro.mpls.ldp import run_ldp
+from repro.routing.spf import converge
+from repro.topology import Network, build_backbone
+from repro.vpn.overlay import OverlayVpnBuilder, VcRouter, expected_full_mesh_circuits
+from repro.vpn.pe import PeRouter
+from repro.vpn.provision import VpnProvisioner
+
+__all__ = ["overlay_census", "mpls_census", "run_e1"]
+
+EDGE_ROUTERS = [f"E{i}" for i in range(1, 9)]
+
+
+def _overlay_network(n_sites: int, seed: int = 11) -> tuple[Network, list[str]]:
+    """Backbone of VC switches + one VC-switch CE per site."""
+    net = Network(seed=seed)
+    build_backbone(net, node_factory=lambda n, name: n.add_node(VcRouter(n.sim, name)))
+    ce_names = []
+    for i in range(n_sites):
+        name = f"ce{i}"
+        ce = VcRouter(net.sim, name)
+        net.add_node(ce)
+        net.connect(ce, EDGE_ROUTERS[i % len(EDGE_ROUTERS)], 2e6, 1e-3)
+        ce_names.append(name)
+    converge(net)
+    return net, ce_names
+
+
+def overlay_census(n_sites: int, seed: int = 11) -> dict[str, Any]:
+    """Provision the full-mesh overlay and count everything."""
+    net, ce_names = _overlay_network(n_sites, seed)
+    builder = OverlayVpnBuilder(net)
+    result = builder.build_full_mesh(ce_names)
+    backbone_state = sum(
+        entries
+        for name, entries in result.state_entries_by_node.items()
+        if not name.startswith("ce")
+    )
+    return {
+        "sites": n_sites,
+        "circuits": result.circuit_count,
+        "formula": expected_full_mesh_circuits(n_sites),
+        "state_total": result.total_state_entries,
+        "state_backbone": backbone_state,
+        "state_max_node": result.max_state_on_one_node,
+        "signaling_msgs": result.signaling_messages,
+    }
+
+
+def _mpls_network(seed: int = 13) -> tuple[Network, dict[str, Lsr]]:
+    net = Network(seed=seed)
+
+    def factory(n: Network, name: str) -> Lsr:
+        cls = PeRouter if name.startswith("E") else Lsr
+        return n.add_node(cls(n.sim, name))  # type: ignore[return-value]
+
+    nodes = build_backbone(net, node_factory=factory)
+    return net, nodes
+
+
+def mpls_census(n_sites: int, seed: int = 13) -> dict[str, Any]:
+    """Provision the same N sites as a BGP/MPLS VPN and count state."""
+    net, nodes = _mpls_network(seed)
+    prov = VpnProvisioner(net)
+    vpn = prov.create_vpn("corp")
+    for i in range(n_sites):
+        prov.add_site(vpn, nodes[EDGE_ROUTERS[i % len(EDGE_ROUTERS)]], num_hosts=0)  # type: ignore[arg-type]
+    converge(net)
+    ldp = run_ldp(net)
+    bgp = prov.converge_bgp()
+    census = prov.state_census()
+    # Core (P) routers hold *zero* per-VPN state — only LDP transport state
+    # that is shared by every VPN; count it separately to make that visible.
+    p_state = sum(
+        len(nodes[f"P{i}"].lfib) for i in range(1, 5)
+    )
+    return {
+        "sites": n_sites,
+        "pes": census["pes"],
+        "vrf_routes_total": census["vrf_routes_total"],
+        "core_per_vpn_state": 0,
+        "core_ldp_state": p_state,
+        "bgp_sessions": bgp.sessions,
+        "bgp_updates": bgp.updates_sent,
+        "ldp_sessions": ldp.sessions,
+        "ldp_msgs": ldp.mapping_messages,
+    }
+
+
+def run_e1(
+    site_counts: Sequence[int] = (10, 50, 100, 200),
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """The E1 table: one row per N, overlay vs MPLS side by side."""
+    rows: list[dict[str, Any]] = []
+    raw: dict[str, Any] = {"overlay": {}, "mpls": {}}
+    for n in site_counts:
+        ov = overlay_census(n)
+        mp = mpls_census(n)
+        raw["overlay"][n] = ov
+        raw["mpls"][n] = mp
+        rows.append(
+            {
+                "sites": n,
+                "overlay_VCs": ov["circuits"],
+                "N(N-1)/2": ov["formula"],
+                "overlay_state": ov["state_total"],
+                "overlay_max_node": ov["state_max_node"],
+                "overlay_sig_msgs": ov["signaling_msgs"],
+                "mpls_vrf_routes": mp["vrf_routes_total"],
+                "mpls_core_vpn_state": mp["core_per_vpn_state"],
+                "bgp_updates": mp["bgp_updates"],
+                "ldp_msgs": mp["ldp_msgs"],
+            }
+        )
+    return rows, raw

@@ -1,0 +1,104 @@
+"""Service Level Agreement specification and conformance checking.
+
+The paper's promise (§3.1, §5) is "granular Service Level Agreements with
+assured performance" extended "from customer site to customer site".  An
+:class:`SlaSpec` captures the per-class commitments (delay budget, jitter
+budget, loss budget, assured throughput) and :func:`evaluate` renders the
+verdict for a measured flow — the pass/fail column of experiment E5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.stats import FlowStats
+
+__all__ = ["SlaSpec", "SlaVerdict", "evaluate", "VOICE_SLA", "DATA_SLA", "BEST_EFFORT_SLA"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlaSpec:
+    """Per-class commitments; ``None`` means not committed."""
+
+    name: str
+    max_p99_delay_s: Optional[float] = None
+    max_jitter_s: Optional[float] = None
+    max_loss_ratio: Optional[float] = None
+    min_throughput_bps: Optional[float] = None
+
+
+@dataclass(frozen=True, slots=True)
+class SlaVerdict:
+    """Outcome of one SLA check."""
+
+    spec: SlaSpec
+    stats: FlowStats
+    delay_ok: bool
+    jitter_ok: bool
+    loss_ok: bool
+    throughput_ok: bool
+
+    @property
+    def conformant(self) -> bool:
+        return self.delay_ok and self.jitter_ok and self.loss_ok and self.throughput_ok
+
+    def violations(self) -> list[str]:
+        out = []
+        if not self.delay_ok:
+            out.append(
+                f"p99 delay {self.stats.p99_delay_s*1e3:.2f}ms > "
+                f"{self.spec.max_p99_delay_s*1e3:.2f}ms"  # type: ignore[operator]
+            )
+        if not self.jitter_ok:
+            out.append(
+                f"jitter {self.stats.jitter_rfc3550_s*1e3:.2f}ms > "
+                f"{self.spec.max_jitter_s*1e3:.2f}ms"  # type: ignore[operator]
+            )
+        if not self.loss_ok:
+            out.append(
+                f"loss {self.stats.loss_ratio:.4f} > {self.spec.max_loss_ratio:.4f}"  # type: ignore[operator]
+            )
+        if not self.throughput_ok:
+            out.append(
+                f"throughput {self.stats.throughput_bps/1e3:.0f}kbps < "
+                f"{self.spec.min_throughput_bps/1e3:.0f}kbps"  # type: ignore[operator]
+            )
+        return out
+
+
+def _leq(value: float, bound: Optional[float]) -> bool:
+    if bound is None:
+        return True
+    if math.isnan(value):
+        return False  # nothing arrived: cannot be conformant on a bounded metric
+    return value <= bound
+
+
+def evaluate(spec: SlaSpec, stats: FlowStats) -> SlaVerdict:
+    """Check ``stats`` against ``spec``."""
+    thr_ok = (
+        spec.min_throughput_bps is None
+        or stats.throughput_bps >= spec.min_throughput_bps
+    )
+    return SlaVerdict(
+        spec=spec,
+        stats=stats,
+        delay_ok=_leq(stats.p99_delay_s, spec.max_p99_delay_s),
+        jitter_ok=_leq(stats.jitter_rfc3550_s, spec.max_jitter_s),
+        loss_ok=_leq(stats.loss_ratio, spec.max_loss_ratio),
+        throughput_ok=thr_ok,
+    )
+
+
+#: ITU G.114-style voice budget scaled to a metro/regional backbone: the
+#: experiments use short propagation delays, so the budget reflects the
+#: *queueing* headroom a correctly engineered EF class must hold.
+VOICE_SLA = SlaSpec("voice", max_p99_delay_s=0.050, max_jitter_s=0.010, max_loss_ratio=0.001)
+
+#: Assured data: delivery matters more than latency.
+DATA_SLA = SlaSpec("data", max_p99_delay_s=0.250, max_loss_ratio=0.01)
+
+#: Best effort commits to nothing — always conformant.
+BEST_EFFORT_SLA = SlaSpec("best-effort")

@@ -1,0 +1,25 @@
+"""MPLS: labels, LFIB, LSR data plane, LDP distribution, traffic engineering."""
+
+from repro.mpls.label import (
+    EXPLICIT_NULL,
+    FIRST_UNRESERVED,
+    IMPLICIT_NULL,
+    MAX_LABEL,
+    LabelExhausted,
+    LabelSpace,
+)
+from repro.mpls.frr import Bypass, FastReroute, FrrError
+from repro.mpls.ldp import LdpResult, reset_ldp, run_ldp
+from repro.mpls.lfib import FtnTable, LabelOp, Lfib, LfibEntry, Nhlfe
+from repro.mpls.lsr import Lsr
+from repro.mpls.te import AdmissionError, TeLsp, TrafficEngineering
+
+__all__ = [
+    "EXPLICIT_NULL", "FIRST_UNRESERVED", "IMPLICIT_NULL", "MAX_LABEL",
+    "LabelExhausted", "LabelSpace",
+    "LdpResult", "run_ldp", "reset_ldp",
+    "Bypass", "FastReroute", "FrrError",
+    "FtnTable", "LabelOp", "Lfib", "LfibEntry", "Nhlfe",
+    "Lsr",
+    "AdmissionError", "TeLsp", "TrafficEngineering",
+]

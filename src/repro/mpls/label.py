@@ -1,0 +1,81 @@
+"""MPLS label spaces and well-known labels.
+
+Each LSR owns a *platform-wide* label space: incoming labels are unique per
+node (not per interface), matching the common router implementation.
+Labels 0–15 are reserved by RFC 3032; allocation starts at 16.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = [
+    "IMPLICIT_NULL",
+    "EXPLICIT_NULL",
+    "FIRST_UNRESERVED",
+    "MAX_LABEL",
+    "LabelSpace",
+    "LabelExhausted",
+]
+
+#: RFC 3032 reserved label: advertised by an egress to request penultimate-hop
+#: popping — the upstream LSR pops instead of swapping, so the egress never
+#: sees the label.
+IMPLICIT_NULL = 3
+
+#: RFC 3032 reserved label: egress wants the label (with its EXP bits!) kept
+#: until the last hop — needed when QoS is carried in EXP (RFC 3270 notes
+#: implicit-null discards the EXP information a hop early).
+EXPLICIT_NULL = 0
+
+FIRST_UNRESERVED = 16
+MAX_LABEL = (1 << 20) - 1
+
+
+class LabelExhausted(RuntimeError):
+    """The 20-bit label space ran out (only plausible in stress tests)."""
+
+
+class LabelSpace:
+    """Per-platform allocator of incoming labels.
+
+    Frees are supported so LSP teardown (TE preemption tests) can recycle
+    labels; re-allocation is LIFO which maximises reuse and keeps traces
+    compact.
+    """
+
+    def __init__(self, first: int = FIRST_UNRESERVED) -> None:
+        if not FIRST_UNRESERVED <= first <= MAX_LABEL:
+            raise ValueError(f"first label {first} out of range")
+        self._next = first
+        self._free: list[int] = []
+        self._allocated: set[int] = set()
+
+    def allocate(self) -> int:
+        """Return a fresh (or recycled) label unique on this platform."""
+        if self._free:
+            label = self._free.pop()
+        else:
+            if self._next > MAX_LABEL:
+                raise LabelExhausted("20-bit label space exhausted")
+            label = self._next
+            self._next += 1
+        self._allocated.add(label)
+        return label
+
+    def release(self, label: int) -> None:
+        """Return ``label`` to the pool.  Raises on double-free."""
+        if label not in self._allocated:
+            raise ValueError(f"label {label} not allocated")
+        self._allocated.remove(label)
+        self._free.append(label)
+
+    @property
+    def in_use(self) -> int:
+        return len(self._allocated)
+
+    def __contains__(self, label: int) -> bool:
+        return label in self._allocated
+
+    def allocated(self) -> Iterator[int]:
+        return iter(sorted(self._allocated))

@@ -1,0 +1,217 @@
+"""LDP-style hop-by-hop label distribution.
+
+Distributes label bindings for a set of FECs (by default, every LSR's
+loopback host route — the tunnel endpoints BGP/MPLS VPNs need) along the
+IGP shortest-path tree, exactly as downstream-unsolicited LDP with ordered
+control would: the egress originates a binding, each upstream LSR allocates
+its own incoming label and records the downstream label to swap to.
+
+Wire behaviour is abstracted to *message counting*: with liberal label
+retention every LSR advertises each binding over every LDP session, so the
+message count per FEC equals twice the number of LSR adjacencies.  These
+counters are the MPLS side of experiment E1 — compare their growth in the
+number of VPN sites against the O(N²) virtual-circuit mesh.
+
+Penultimate-hop popping (PHP) is on by default; pass
+``use_explicit_null=True`` to keep the label (and its EXP bits) until the
+egress — RFC 3270 recommends this when QoS is carried in EXP, and ablation
+E9c measures the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.mpls.label import EXPLICIT_NULL, IMPLICIT_NULL
+from repro.mpls.lfib import LabelOp, LfibEntry, Nhlfe
+from repro.mpls.lsr import Lsr
+from repro.net.address import Prefix
+from repro.routing.spf import _deterministic_dijkstra, _domain_graph, _egress_towards
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology import Network
+
+__all__ = ["LdpResult", "run_ldp", "reset_ldp"]
+
+
+def reset_ldp(net: "Network", domain: str = "core") -> int:
+    """Withdraw all LDP-installed state (LFIB entries, FTN bindings, labels).
+
+    Used together with :func:`repro.routing.spf.reconverge`: after the IGP
+    moves, LDP bindings must follow the new next hops, so the resilience
+    experiment resets and re-runs distribution.  Returns the number of
+    LFIB entries removed.
+    """
+    removed = 0
+    for node in net.nodes.values():
+        if not isinstance(node, Lsr) or node.domain != domain:
+            continue
+        for in_label, entry in list(node.lfib.entries().items()):
+            if entry.lsp_id and entry.lsp_id.startswith("ldp:"):
+                node.lfib.remove(in_label)
+                if in_label in node.labels:
+                    node.labels.release(in_label)
+                removed += 1
+        for prefix, nhlfe in list(node.ftn.entries().items()):
+            if nhlfe.lsp_id and nhlfe.lsp_id.startswith("ldp:"):
+                node.ftn.unbind(prefix)
+    return removed
+
+
+@dataclass
+class LdpResult:
+    """Outcome of one LDP distribution pass.
+
+    ``bindings[fec][node_name]`` is the incoming label that node advertised
+    for the FEC (IMPLICIT_NULL / EXPLICIT_NULL at the egress under PHP /
+    explicit-null).  ``sessions`` is the number of LDP adjacencies and
+    ``mapping_messages`` the total label-mapping advertisements sent.
+    """
+
+    bindings: dict[Prefix, dict[str, int]] = field(default_factory=dict)
+    sessions: int = 0
+    mapping_messages: int = 0
+    lfib_entries: int = 0
+    ftn_entries: int = 0
+
+
+def run_ldp(
+    net: "Network",
+    fecs: list[Prefix] | None = None,
+    domain: str = "core",
+    php: bool = True,
+    use_explicit_null: bool = False,
+) -> LdpResult:
+    """Distribute labels for ``fecs`` among all in-domain LSRs.
+
+    Requires a converged IGP (:func:`repro.routing.spf.converge`) since
+    LDP follows IGP next hops.  Returns the binding table and the
+    control-plane cost counters.
+    """
+    if php and use_explicit_null:
+        raise ValueError("php and explicit-null are mutually exclusive")
+
+    g = _domain_graph(net, domain)
+    lsrs: dict[str, Lsr] = {
+        name: net.nodes[name]  # type: ignore[misc]
+        for name in g.nodes
+        if isinstance(net.nodes[name], Lsr)
+    }
+    result = LdpResult()
+    # LDP sessions: one per adjacency where both ends are LSRs.
+    session_pairs = [
+        (u, v) for u, v in g.edges if u in lsrs and v in lsrs
+    ]
+    result.sessions = len(session_pairs)
+    net.counters.incr("ldp.sessions", len(session_pairs))
+
+    if fecs is None:
+        # Default FEC set: every LSR's loopback plus the prefixes it
+        # explicitly injects into the IGP (host routes it fronts).  Link
+        # /30s are deliberately excluded — the standard "host routes only"
+        # LDP filter — since labeling infrastructure subnets buys nothing.
+        fecs = []
+        for lsr in lsrs.values():
+            if lsr.loopback is not None:
+                fecs.append(Prefix.of(lsr.loopback, 32))
+            fecs.extend(sorted(lsr.advertised_prefixes))
+
+    # Map each FEC to its egress LSR (the one advertising the prefix).
+    owner_of: dict[Prefix, str] = {}
+    for name, lsr in lsrs.items():
+        if lsr.loopback is not None:
+            owner_of[Prefix.of(lsr.loopback, 32)] = name
+        for p in lsr.connected_prefixes:
+            owner_of.setdefault(p, name)
+        for p in lsr.advertised_prefixes:
+            owner_of.setdefault(p, name)
+
+    for fec in fecs:
+        egress_name = owner_of.get(fec)
+        if egress_name is None:
+            continue  # FEC not originated by an LSR in this domain
+        bindings = _distribute_one(net, g, lsrs, fec, egress_name, php, use_explicit_null, result)
+        result.bindings[fec] = bindings
+        # Liberal retention: every LSR advertises its binding to every
+        # neighbour LSR; the egress advertises too.
+        msgs = sum(
+            1
+            for u, v in session_pairs
+            for end in (u, v)
+            if end in bindings or end == egress_name
+        )
+        result.mapping_messages += msgs
+        net.counters.incr("ldp.mapping_msgs", msgs)
+    return result
+
+
+def _distribute_one(
+    net: "Network",
+    g,
+    lsrs: dict[str, Lsr],
+    fec: Prefix,
+    egress_name: str,
+    php: bool,
+    use_explicit_null: bool,
+    result: LdpResult,
+) -> dict[str, int]:
+    """Install LFIB/FTN state for one FEC; returns node → incoming label."""
+    egress = lsrs[egress_name]
+    bindings: dict[str, int] = {}
+
+    if php:
+        bindings[egress_name] = IMPLICIT_NULL
+    elif use_explicit_null:
+        bindings[egress_name] = EXPLICIT_NULL
+        egress.lfib.install(
+            EXPLICIT_NULL, LfibEntry(LabelOp.POP_PROCESS, lsp_id=f"ldp:{fec}")
+        )
+        result.lfib_entries += 1
+    else:
+        label = egress.labels.allocate()
+        bindings[egress_name] = label
+        egress.lfib.install(label, LfibEntry(LabelOp.POP_PROCESS, lsp_id=f"ldp:{fec}"))
+        result.lfib_entries += 1
+
+    # Ordered control: a node may only advertise a binding once its own next
+    # hop toward the egress has one.  Processing nodes by increasing
+    # distance-from-egress guarantees the downstream side is decided first,
+    # and it naturally stops label distribution at non-MPLS routers in a
+    # mixed backbone (Fig. 4): an LSR whose IGP next hop is a plain router
+    # gets no binding and its upstream falls back to IP forwarding.
+    dist_from_egress, _ = _deterministic_dijkstra(g, egress_name)
+    order = sorted(
+        (name for name in lsrs if name != egress_name and name in dist_from_egress),
+        key=lambda n: (dist_from_egress[n], n),
+    )
+    for name in order:
+        lsr = lsrs[name]
+        _dist, paths = _deterministic_dijkstra(g, name)
+        if egress_name not in paths or len(paths[egress_name]) < 2:
+            continue  # partitioned
+        nh_name = paths[egress_name][1]
+        if nh_name not in bindings:
+            continue  # next hop is not label-capable for this FEC
+        bindings[name] = lsr.labels.allocate()
+
+        dl = g[name][nh_name]["duplex"]
+        out_ifname, _nh_addr = _egress_towards(dl, name)
+        downstream = bindings[nh_name]
+        if downstream == IMPLICIT_NULL:
+            entry = LfibEntry(LabelOp.POP, out_ifname=out_ifname, lsp_id=f"ldp:{fec}")
+        else:
+            entry = LfibEntry(
+                LabelOp.SWAP,
+                out_label=downstream,
+                out_ifname=out_ifname,
+                lsp_id=f"ldp:{fec}",
+            )
+        lsr.lfib.install(bindings[name], entry)
+        result.lfib_entries += 1
+
+        # Every LSR can also act as ingress for this FEC: bind the FTN so
+        # unlabeled packets entering here get the tunnel label.
+        lsr.ftn.bind(fec, Nhlfe(out_ifname, (downstream,), lsp_id=f"ldp:{fec}"))
+        result.ftn_entries += 1
+    return bindings

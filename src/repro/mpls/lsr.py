@@ -1,0 +1,144 @@
+"""Label Switching Router data plane.
+
+An :class:`Lsr` extends the conventional :class:`~repro.routing.router.Router`
+with the MPLS fast path: labeled packets hit the LFIB (exact match, cost
+``label_lookup_s``); unlabeled packets take the normal LPM path, and — if
+the matched FEC has a bound NHLFE — get labels *imposed* and enter an LSP.
+This dual behaviour is exactly the mixed deployment of the paper's Fig. 4:
+the same box label-switches traffic that has a tunnel and IP-routes traffic
+that does not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.mpls.label import IMPLICIT_NULL, LabelSpace
+from repro.mpls.lfib import FtnTable, LabelOp, Lfib, LfibEntry, Nhlfe
+from repro.net.packet import Packet
+from repro.routing.router import Router
+from repro.sim.engine import bind
+
+__all__ = ["Lsr"]
+
+
+class Lsr(Router):
+    """IP router + MPLS label switching."""
+
+    def __init__(self, sim, name, **kw) -> None:
+        super().__init__(sim, name, **kw)
+        self.lfib = Lfib()
+        self.ftn = FtnTable()
+        self.labels = LabelSpace()
+        # RFC 3270 L-LSP support: labels whose *value* implies the
+        # scheduling class (populated by TE signaling with a
+        # scheduling_class; empty for E-LSPs, where EXP carries the class).
+        self.label_class: dict[int, int] = {}
+        # Hook the PE subclass installs to receive VPN-labeled packets.
+        self.vpn_deliver: Callable[[Packet, str], None] | None = None
+        # EXP policy at label imposition: None copies the packet's DSCP into
+        # EXP (the RFC 3270 edge behaviour, claim C6); an int forces a fixed
+        # value (0 models a QoS-blind edge for the ablations).
+        self.impose_exp: int | None = None
+
+    # ------------------------------------------------------------------
+    def handle(self, pkt: Packet, ifname: str) -> None:
+        if pkt.mpls_stack:
+            self.after_processing(
+                self.processing.label_lookup_s, bind(self._handle_mpls, pkt)
+            )
+            return
+        if self.owns(pkt.ip.dst):
+            self.deliver_local(pkt)
+            return
+        self.after_processing(
+            self.processing.ip_lookup_s, bind(self._forward_ip_or_impose, pkt)
+        )
+
+    # ------------------------------------------------------------------
+    # MPLS fast path
+    # ------------------------------------------------------------------
+    def _handle_mpls(self, pkt: Packet) -> None:
+        top = pkt.top_label
+        assert top is not None
+        entry = self.lfib.lookup(top.label)
+        if entry is None:
+            self.drop(pkt, "no_label")
+            return
+        if entry.op is LabelOp.SWAP:
+            if pkt.decrement_ttl() <= 0:
+                self.drop(pkt, "ttl")
+                return
+            pkt.swap_label(entry.out_label)  # EXP is preserved across swaps
+            self.transmit(pkt, entry.out_ifname)
+        elif entry.op is LabelOp.POP:
+            if pkt.decrement_ttl() <= 0:
+                self.drop(pkt, "ttl")
+                return
+            pkt.pop_label()
+            self.transmit(pkt, entry.out_ifname)
+        elif entry.op is LabelOp.POP_PROCESS:
+            pkt.pop_label()
+            if pkt.mpls_stack:
+                self._handle_mpls(pkt)  # inner label is also ours
+            elif self.owns(pkt.ip.dst):
+                self.deliver_local(pkt)
+            else:
+                self._forward_ip_or_impose(pkt)
+        elif entry.op is LabelOp.SWAP_PUSH:
+            # FRR local repair: restore the label the merge point expects,
+            # then tunnel it over the bypass LSP.  EXP is copied onto the
+            # bypass entry so the detour keeps the class.
+            if pkt.decrement_ttl() <= 0:
+                self.drop(pkt, "ttl")
+                return
+            exp = pkt.top_label.exp if pkt.top_label else 0
+            pkt.swap_label(entry.out_label)
+            pkt.push_label(entry.push_label, exp=exp)
+            self.transmit(pkt, entry.out_ifname)
+        elif entry.op is LabelOp.VPN:
+            pkt.pop_label()
+            if self.vpn_deliver is None:
+                self.drop(pkt, "vpn_label_no_vrf")
+            else:
+                self.vpn_deliver(pkt, entry.vrf)  # type: ignore[arg-type]
+        else:  # pragma: no cover - enum is closed
+            self.drop(pkt, "bad_lfib_op")
+
+    # ------------------------------------------------------------------
+    # IP slow path with label imposition
+    # ------------------------------------------------------------------
+    def _forward_ip_or_impose(self, pkt: Packet) -> None:
+        if pkt.decrement_ttl() <= 0:
+            self.drop(pkt, "ttl")
+            return
+        match = self.fib.lookup_prefix(pkt.ip.dst)
+        if match is None:
+            self.drop(pkt, "no_route")
+            return
+        prefix, route = match
+        nhlfe = self.ftn.lookup(prefix)
+        if nhlfe is not None:
+            self.impose(pkt, nhlfe)
+            return
+        self.dispatch(pkt, route)
+
+    def impose(self, pkt: Packet, nhlfe: Nhlfe) -> None:
+        """Push the NHLFE's label stack and transmit.
+
+        Implicit-null labels in the stack are not pushed (PHP on a one-hop
+        tunnel).  EXP comes from the packet's DSCP unless ``impose_exp``
+        pins a fixed value.
+        """
+        from repro.qos.dscp import dscp_to_exp
+
+        exp = (
+            self.impose_exp
+            if self.impose_exp is not None
+            else dscp_to_exp(pkt.ip.dscp)
+        )
+        for label in nhlfe.labels:
+            if label == IMPLICIT_NULL:
+                continue
+            pkt.push_label(label, exp=exp)
+        self.transmit(pkt, nhlfe.out_ifname)

@@ -1,0 +1,199 @@
+"""Interfaces and links.
+
+An :class:`Interface` is a node's attachment point with an *output queue*
+and a transmitter; a :class:`Link` is a simplex channel with a bit rate and
+propagation delay.  Duplex connectivity is two simplex links.
+
+Transmission is store-and-forward: the egress interface serializes one
+packet at a time (``wire_bytes * 8 / rate_bps`` seconds) and the link then
+delays it by its propagation time before handing it to the remote node.
+Queueing behaviour is delegated to a pluggable queue discipline (see
+``repro.qos.queues``); the interface only drives the
+enqueue → (idle?) → dequeue → transmit → repeat cycle.
+
+Egress *conditioners* (classifier/meter/marker chains from ``repro.qos``)
+run before the queue discipline and may drop or remark packets — this is
+where the DiffServ traffic-conditioning block of claim C6 attaches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator, bind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.qos.queues import QueueDiscipline
+
+__all__ = ["Interface", "Link", "InterfaceStats"]
+
+Conditioner = Callable[[Packet, float], Optional[Packet]]
+
+
+@dataclass(slots=True)
+class InterfaceStats:
+    """Egress counters for one interface."""
+
+    tx_packets: int = 0
+    tx_bytes: int = 0
+    enqueued: int = 0
+    dropped: int = 0
+    conditioner_dropped: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` the transmitter was busy."""
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class Link:
+    """Simplex channel: delivers packets to ``dst_node`` after ``delay_s``.
+
+    The serialisation time lives in the sending :class:`Interface`; the link
+    adds only propagation delay (so back-to-back packets can be "in flight"
+    simultaneously, as on a real wire).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        dst_node: "Node",
+        dst_ifname: str,
+        delay_s: float,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.dst_node = dst_node
+        self.dst_ifname = dst_ifname
+        self.delay_s = float(delay_s)
+        self.up = True
+
+    def carry(self, pkt: Packet) -> None:
+        """Propagate ``pkt`` to the far end (silently lost if link is down)."""
+        if not self.up:
+            return
+        self.sim.schedule(
+            self.delay_s, bind(self.dst_node.receive, pkt, self.dst_ifname)
+        )
+
+
+class Interface:
+    """A node's egress attachment: conditioners + queue discipline + transmitter.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel.
+    node:
+        Owning node (used for naming and receive dispatch on the peer).
+    name:
+        Interface name, unique within the node (``"eth0"``...).
+    rate_bps:
+        Transmit rate in bits per second.
+    qdisc:
+        Queue discipline instance; defaults are installed by the topology
+        builder (a plain DropTail FIFO unless QoS is configured).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: "Node",
+        name: str,
+        rate_bps: float,
+        qdisc: "QueueDiscipline",
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.name = name
+        self.rate_bps = float(rate_bps)
+        self.qdisc = qdisc
+        self.link: Link | None = None
+        self.conditioners: list[Conditioner] = []
+        self.stats = InterfaceStats()
+        self._busy = False
+        self._retry_event = None  # pending wake-up for non-work-conserving qdiscs
+        # Populated by the topology builder: far-end node/interface names,
+        # used by routing to translate next-hop decisions into interfaces.
+        self.peer_node: "Node | None" = None
+        self.peer_ifname: str | None = None
+
+    # ------------------------------------------------------------------
+    def attach(self, link: Link, peer_node: "Node", peer_ifname: str) -> None:
+        """Wire this interface to its outgoing simplex link."""
+        self.link = link
+        self.peer_node = peer_node
+        self.peer_ifname = peer_ifname
+
+    def add_conditioner(self, fn: Conditioner) -> None:
+        """Append an egress conditioner (classify/meter/mark/police stage)."""
+        self.conditioners.append(fn)
+
+    # ------------------------------------------------------------------
+    def send(self, pkt: Packet) -> bool:
+        """Run conditioners, enqueue, and kick the transmitter.
+
+        Returns False when the packet was dropped (by a conditioner or the
+        queue discipline).
+        """
+        now = self.sim.now
+        for fn in self.conditioners:
+            out = fn(pkt, now)
+            if out is None:
+                self.stats.conditioner_dropped += 1
+                return False
+            pkt = out
+        if not self.qdisc.enqueue(pkt, now):
+            self.stats.dropped += 1
+            return False
+        self.stats.enqueued += 1
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    # ------------------------------------------------------------------
+    def _transmit_next(self) -> None:
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
+        now = self.sim.now
+        pkt = self.qdisc.dequeue(now)
+        if pkt is None:
+            self._busy = False
+            # Non-work-conserving discipline with backlog: wake up when the
+            # earliest regulated packet becomes eligible (e.g. CBQ class
+            # waiting for its allocation bucket to refill).
+            if len(self.qdisc) > 0:
+                t = self.qdisc.next_eligible(now)
+                if t != float("inf"):
+                    self._retry_event = self.sim.schedule(
+                        max(t - now, 1e-9), self._transmit_next
+                    )
+            return
+        self._busy = True
+        tx_time = pkt.wire_bytes * 8.0 / self.rate_bps
+        self.stats.busy_time += tx_time
+        self.sim.schedule(tx_time, bind(self._transmit_done, pkt))
+
+    def _transmit_done(self, pkt: Packet) -> None:
+        self.stats.tx_packets += 1
+        self.stats.tx_bytes += pkt.wire_bytes
+        if self.link is not None:
+            self.link.carry(pkt)
+        self._transmit_next()
+
+    # ------------------------------------------------------------------
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    @property
+    def backlog_packets(self) -> int:
+        return len(self.qdisc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Interface {self.node.name}.{self.name} {self.rate_bps/1e6:g}Mbps>"

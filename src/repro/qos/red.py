@@ -1,0 +1,137 @@
+"""Random Early Detection (RED) and Weighted RED.
+
+RED (Floyd & Jacobson 1993) keeps an EWMA of queue occupancy and drops
+arriving packets with a probability that ramps from 0 at ``min_th`` to
+``max_p`` at ``max_th`` (then 1 above).  WRED runs one RED curve per drop
+precedence so AFx3 traffic is shed before AFx1 — the mechanism that makes
+the srTCM remarking at the edge (repro.qos.meter) actually bite in the
+core.
+
+Implemented as :class:`DropPolicy` objects pluggable into any queue in
+:mod:`repro.qos.queues`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.net.packet import Packet
+from repro.qos.dscp import PHB_OF_DSCP
+
+__all__ = ["RedParams", "RedQueueManager", "WredQueueManager"]
+
+
+@dataclass(frozen=True, slots=True)
+class RedParams:
+    """One RED drop curve (thresholds in bytes)."""
+
+    min_th: int
+    max_th: int
+    max_p: float = 0.1
+    weight: float = 0.002  # EWMA gain
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_th < self.max_th:
+            raise ValueError("need 0 < min_th < max_th")
+        if not 0.0 < self.max_p <= 1.0:
+            raise ValueError("max_p must be in (0, 1]")
+        if not 0.0 < self.weight <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
+
+
+class RedQueueManager:
+    """Classic RED with the gentle ramp and count-based spacing of drops.
+
+    The inter-drop count adjustment (``1/(1 - count*p)``) spreads drops
+    uniformly instead of in bursts, per the original paper.
+    """
+
+    def __init__(self, params: RedParams, rng) -> None:
+        self.params = params
+        self.rng = rng
+        self.avg = 0.0
+        self._count = 0  # packets since last drop while in drop region
+        self.forced_drops = 0
+        self.random_drops = 0
+
+    # -- DropPolicy protocol -------------------------------------------
+    def should_drop(self, pkt: Packet, backlog_bytes: int, now: float) -> bool:
+        p = self.params
+        self.avg += p.weight * (backlog_bytes - self.avg)
+        if self.avg < p.min_th:
+            self._count = 0
+            return False
+        if self.avg >= p.max_th:
+            self.forced_drops += 1
+            self._count = 0
+            return True
+        base = p.max_p * (self.avg - p.min_th) / (p.max_th - p.min_th)
+        denom = 1.0 - self._count * base
+        prob = base / denom if denom > 0 else 1.0
+        self._count += 1
+        if self.rng.random() < prob:
+            self.random_drops += 1
+            self._count = 0
+            return True
+        return False
+
+    def notify_dequeue(self, backlog_bytes: int, now: float) -> None:
+        # EWMA updates on arrivals only (standard RED); nothing to do here.
+        return None
+
+
+class WredQueueManager:
+    """Weighted RED: one RED curve per AF drop precedence in a shared queue.
+
+    The packet's drop precedence is derived from its DSCP (AFx1=0, AFx2=1,
+    AFx3=2); each precedence has progressively tighter thresholds.
+    """
+
+    def __init__(self, curves: dict[int, RedParams], rng) -> None:
+        if not curves:
+            raise ValueError("need at least one curve")
+        self.managers = {
+            prec: RedQueueManager(params, rng) for prec, params in curves.items()
+        }
+        self._fallback = max(self.managers)  # most aggressive curve
+
+    @staticmethod
+    def precedence_of(pkt: Packet) -> int:
+        return PHB_OF_DSCP.get(pkt.classifiable_dscp(), ("BE", 0))[1]
+
+    def should_drop(self, pkt: Packet, backlog_bytes: int, now: float) -> bool:
+        prec = self.precedence_of(pkt)
+        mgr = self.managers.get(prec) or self.managers[self._fallback]
+        # All curves must track the same average; update the others' EWMA
+        # without a drop decision so their state stays coherent.
+        for p, other in self.managers.items():
+            if other is not mgr:
+                other.avg += other.params.weight * (backlog_bytes - other.avg)
+        return mgr.should_drop(pkt, backlog_bytes, now)
+
+    def notify_dequeue(self, backlog_bytes: int, now: float) -> None:
+        return None
+
+    @property
+    def total_drops(self) -> int:
+        return sum(m.forced_drops + m.random_drops for m in self.managers.values())
+
+
+def standard_wred(capacity_bytes: int, rng) -> WredQueueManager:
+    """Three-precedence WRED tuned to a queue of ``capacity_bytes``.
+
+    AFx1 keeps the widest headroom; AFx3 is shed first.  Ratios follow
+    common vendor defaults (min at ~30/25/20 % and max at ~80/70/60 %).
+    """
+    def curve(lo: float, hi: float, p: float) -> RedParams:
+        return RedParams(
+            min_th=max(1, int(capacity_bytes * lo)),
+            max_th=max(2, int(capacity_bytes * hi)),
+            max_p=p,
+        )
+
+    return WredQueueManager(
+        {0: curve(0.30, 0.80, 0.05), 1: curve(0.25, 0.70, 0.10), 2: curve(0.20, 0.60, 0.20)},
+        rng,
+    )

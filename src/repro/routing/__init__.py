@@ -1,0 +1,16 @@
+"""IP routing: FIB with longest-prefix match, SPF control plane, router node."""
+
+from repro.routing.fib import Fib, RouteEntry
+from repro.routing.router import Router
+from repro.routing.spf import (
+    advertised_prefixes,
+    clear_routes,
+    converge,
+    reconverge,
+    spf_paths,
+)
+
+__all__ = [
+    "Fib", "RouteEntry", "Router", "advertised_prefixes", "clear_routes",
+    "converge", "reconverge", "spf_paths",
+]

@@ -1,0 +1,160 @@
+"""Forwarding Information Base with longest-prefix match.
+
+The FIB is a binary (unibit) trie over the 32-bit destination address —
+the classic software LPM structure.  Claim C4 of the paper contrasts this
+per-packet variable-length lookup against MPLS's exact-match label lookup;
+experiment E3 measures both on the real data structures, so the trie here
+is implemented faithfully rather than delegated to a dict of prefixes.
+
+A :class:`RouteEntry` resolves to an egress interface and an optional
+next-hop address (None for directly connected destinations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.net.address import IPv4Address, Prefix
+
+__all__ = ["RouteEntry", "Fib"]
+
+
+@dataclass(frozen=True, slots=True)
+class RouteEntry:
+    """One forwarding decision.
+
+    Attributes
+    ----------
+    out_ifname:
+        Egress interface name on the owning node (the primary path).
+    next_hop:
+        Next-hop router address, or ``None`` when the destination is on the
+        attached subnet (or the entry is a host route to a neighbour).
+    metric:
+        Path cost that installed the route (for observability/tie tests).
+    source:
+        Provenance tag: "connected", "static", "spf", "bgp", ...
+    alternates:
+        Additional equal-cost (out_ifname, next_hop) pairs for ECMP; the
+        router hashes the flow over ``1 + len(alternates)`` choices so one
+        flow's packets never reorder across paths.
+    """
+
+    out_ifname: str
+    next_hop: Optional[IPv4Address] = None
+    metric: float = 0.0
+    source: str = "static"
+    alternates: tuple[tuple[str, Optional[IPv4Address]], ...] = ()
+
+    @property
+    def all_paths(self) -> tuple[tuple[str, Optional[IPv4Address]], ...]:
+        """Primary + alternates, in deterministic order."""
+        return ((self.out_ifname, self.next_hop), *self.alternates)
+
+
+class _TrieNode:
+    __slots__ = ("left", "right", "entry")
+
+    def __init__(self) -> None:
+        self.left: _TrieNode | None = None   # bit 0
+        self.right: _TrieNode | None = None  # bit 1
+        self.entry: RouteEntry | None = None
+
+
+class Fib:
+    """Binary-trie longest-prefix-match forwarding table."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._routes: dict[Prefix, RouteEntry] = {}
+        self.lookups = 0
+
+    # ------------------------------------------------------------------
+    def install(self, prefix: Prefix | str, entry: RouteEntry) -> None:
+        """Insert or replace the route for ``prefix``."""
+        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        node = self._root
+        net = pfx.network
+        for depth in range(pfx.length):
+            bit = (net >> (31 - depth)) & 1
+            if bit:
+                if node.right is None:
+                    node.right = _TrieNode()
+                node = node.right
+            else:
+                if node.left is None:
+                    node.left = _TrieNode()
+                node = node.left
+        node.entry = entry
+        self._routes[pfx] = entry
+
+    def withdraw(self, prefix: Prefix | str) -> bool:
+        """Remove the route for ``prefix``; returns False when absent.
+
+        Trie nodes are not pruned (withdrawals are rare in our scenarios and
+        stale interior nodes are harmless to correctness).
+        """
+        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        if pfx not in self._routes:
+            return False
+        del self._routes[pfx]
+        node: _TrieNode | None = self._root
+        net = pfx.network
+        for depth in range(pfx.length):
+            if node is None:
+                return False
+            bit = (net >> (31 - depth)) & 1
+            node = node.right if bit else node.left
+        if node is not None:
+            node.entry = None
+        return True
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: IPv4Address | int) -> Optional[RouteEntry]:
+        """Longest-prefix match; ``None`` when no route covers ``addr``."""
+        self.lookups += 1
+        value = addr.value if isinstance(addr, IPv4Address) else addr
+        node: _TrieNode | None = self._root
+        best = self._root.entry
+        depth = 0
+        while node is not None and depth < 32:
+            bit = (value >> (31 - depth)) & 1
+            node = node.right if bit else node.left
+            if node is not None and node.entry is not None:
+                best = node.entry
+            depth += 1
+        return best
+
+    def lookup_prefix(self, addr: IPv4Address | int) -> Optional[tuple[Prefix, RouteEntry]]:
+        """Like :meth:`lookup` but also returns the matching prefix."""
+        value = addr.value if isinstance(addr, IPv4Address) else addr
+        best: tuple[Prefix, RouteEntry] | None = None
+        node: _TrieNode | None = self._root
+        if node.entry is not None:
+            best = (Prefix(0, 0), node.entry)
+        depth = 0
+        prefix_bits = 0
+        while node is not None and depth < 32:
+            bit = (value >> (31 - depth)) & 1
+            prefix_bits = (prefix_bits << 1) | bit
+            node = node.right if bit else node.left
+            depth += 1
+            if node is not None and node.entry is not None:
+                best = (Prefix(prefix_bits << (32 - depth), depth), node.entry)
+        return best
+
+    # ------------------------------------------------------------------
+    def routes(self) -> Iterator[tuple[Prefix, RouteEntry]]:
+        """All installed routes (arbitrary order)."""
+        return iter(self._routes.items())
+
+    def get(self, prefix: Prefix | str) -> Optional[RouteEntry]:
+        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        return self._routes.get(pfx)
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: Prefix) -> bool:
+        return prefix in self._routes

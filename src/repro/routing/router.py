@@ -1,0 +1,80 @@
+"""Conventional IP router: longest-prefix-match forwarding.
+
+This is the baseline data plane of claim C2/C4 — every packet, at every
+hop, gets a full header inspection and an LPM lookup against the FIB.  The
+LSR in :mod:`repro.mpls.lsr` subclasses this so that an MPLS backbone can
+still route unlabeled packets (the mixed deployment of the paper's Fig. 4).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+from repro.routing.fib import Fib, RouteEntry
+from repro.sim.engine import bind
+
+__all__ = ["Router", "flow_hash"]
+
+
+def flow_hash(pkt: Packet) -> int:
+    """Stable per-flow hash over the 5-tuple (the classic ECMP key).
+
+    CRC32 rather than ``hash()`` so path selection is identical across
+    processes and Python versions — determinism again.
+    """
+    ip = pkt.ip
+    key = f"{ip.src.value}|{ip.dst.value}|{ip.proto}|{ip.src_port}|{ip.dst_port}"
+    return zlib.crc32(key.encode("ascii"))
+
+
+class Router(Node):
+    """IP router with a trie FIB."""
+
+    def __init__(self, sim, name, **kw) -> None:
+        super().__init__(sim, name, **kw)
+        self.fib = Fib()
+        # Extra prefixes this router injects into the IGP (host subnets it
+        # fronts, redistributed statics...).
+        self.advertised_prefixes: set = set()
+
+    # ------------------------------------------------------------------
+    def handle(self, pkt: Packet, ifname: str) -> None:
+        if pkt.mpls_stack:
+            # Labeled packet at a non-MPLS router: the deployment scenario of
+            # Fig. 4 never lets this happen (LSPs terminate at LSR edges);
+            # treat it as a configuration error rather than silently routing.
+            self.drop(pkt, "labeled_at_ip_router")
+            return
+        if self.owns(pkt.ip.dst):
+            self.deliver_local(pkt)
+            return
+        self.after_processing(
+            self.processing.ip_lookup_s, bind(self._forward_ip, pkt)
+        )
+
+    def _forward_ip(self, pkt: Packet) -> None:
+        if pkt.decrement_ttl() <= 0:
+            self.drop(pkt, "ttl")
+            return
+        entry = self.fib.lookup(pkt.ip.dst)
+        if entry is None:
+            self.drop(pkt, "no_route")
+            return
+        self.dispatch(pkt, entry)
+
+    def dispatch(self, pkt: Packet, entry: RouteEntry) -> None:
+        """Send ``pkt`` out the interface selected by ``entry``.
+
+        With ECMP alternates present, the egress is chosen by the flow
+        hash — all packets of one flow share a path (no reordering), while
+        distinct flows spread across the equal-cost set.  Split out so
+        subclasses (LSR/PE) can reuse the IP slow path.
+        """
+        if entry.alternates:
+            paths = entry.all_paths
+            out_ifname, _nh = paths[flow_hash(pkt) % len(paths)]
+            self.transmit(pkt, out_ifname)
+            return
+        self.transmit(pkt, entry.out_ifname)

@@ -1,0 +1,239 @@
+"""Link-state shortest-path routing (converged-OSPF model).
+
+Rather than simulating LSA flooding packet-by-packet, :func:`converge`
+computes what a converged OSPF domain would have computed — per-router
+shortest-path trees over the configured metrics — and installs the
+resulting routes into every router's FIB.  This is the standard modeling
+shortcut for steady-state studies and it keeps the data-plane experiments
+unconfounded by IGP transients.
+
+The paper's claim C2 hinges on a *property* of this protocol family: the
+metric is static, so the IGP cannot route around load.  :func:`converge`
+therefore takes no notice of traffic — by design.  Constraint-based routing
+that does see residual bandwidth lives in :mod:`repro.mpls.te`.
+
+Customer equipment (``node.domain != domain``) is excluded: its addresses
+may overlap between customers and must never enter the provider IGP
+(claim C5); reachability for them is the VPN layer's job.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import networkx as nx
+
+from repro.net.address import IPv4Address, Prefix
+from repro.routing.fib import RouteEntry
+from repro.routing.router import Router
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology -> routing)
+    from repro.topology import DuplexLink, Network
+
+__all__ = ["converge", "spf_paths", "advertised_prefixes"]
+
+
+def advertised_prefixes(router: "Router") -> list[Prefix]:
+    """Prefixes ``router`` contributes to the IGP.
+
+    Loopback host route + connected link subnets + explicitly injected
+    prefixes (access subnets for hosts it fronts).
+    """
+    out: list[Prefix] = []
+    if router.loopback is not None:
+        out.append(Prefix.of(router.loopback, 32))
+    out.extend(router.connected_prefixes)
+    out.extend(router.advertised_prefixes)
+    return out
+
+
+def _domain_graph(net: "Network", domain: str) -> nx.Graph:
+    g = nx.Graph()
+    for name, node in net.nodes.items():
+        if isinstance(node, Router) and node.domain == domain:
+            g.add_node(name)
+    for dl in net.duplex_links:
+        if not (dl.link_ab.up and dl.link_ba.up):
+            continue  # failed links leave the topology (what flooding learns)
+        if dl.a.name in g and dl.b.name in g:
+            # Parallel links: keep the lowest metric (nx.Graph is simple).
+            if g.has_edge(dl.a.name, dl.b.name):
+                if g[dl.a.name][dl.b.name]["metric"] <= dl.metric:
+                    continue
+            g.add_edge(dl.a.name, dl.b.name, metric=dl.metric, duplex=dl)
+    return g
+
+
+def _egress_towards(dl: "DuplexLink", src_name: str) -> tuple[str, IPv4Address]:
+    """(out_ifname, next_hop_addr) for ``src`` using duplex link ``dl``."""
+    if dl.a.name == src_name:
+        for addr, ifname in dl.b.addresses.items():
+            if ifname == dl.if_ba.name:
+                return dl.if_ab.name, addr
+    else:
+        for addr, ifname in dl.a.addresses.items():
+            if ifname == dl.if_ab.name:
+                return dl.if_ba.name, addr
+    raise RuntimeError(f"no peer address on duplex link {dl.a.name}-{dl.b.name}")
+
+
+def converge(net: "Network", domain: str = "core", ecmp: bool = False) -> int:
+    """Compute and install SPF routes for every in-domain router.
+
+    Returns the number of FIB entries installed.  Deterministic: equal-cost
+    ties break toward the lexicographically smallest next-hop router name.
+    With ``ecmp=True`` every equal-cost first hop is installed instead (the
+    lowest-named one as primary, the rest as alternates) and routers spread
+    *flows* across them by 5-tuple hash.
+    """
+    if ecmp:
+        return _converge_ecmp(net, domain)
+    g = _domain_graph(net, domain)
+    routers = {
+        name: net.nodes[name] for name in g.nodes
+    }
+    installed = 0
+    for src_name, src in routers.items():
+        assert isinstance(src, Router)
+        # Connected routes first (most specific provenance).
+        for subnet, ifname in src.connected_prefixes.items():
+            src.fib.install(subnet, RouteEntry(ifname, None, 0.0, "connected"))
+            installed += 1
+        dist, paths = _deterministic_dijkstra(g, src_name)
+        for dst_name, path in paths.items():
+            if dst_name == src_name or len(path) < 2:
+                continue
+            nh_name = path[1]
+            dl = g[src_name][nh_name]["duplex"]
+            out_ifname, nh_addr = _egress_towards(dl, src_name)
+            dst = routers[dst_name]
+            assert isinstance(dst, Router)
+            for prefix in advertised_prefixes(dst):
+                if prefix in src.connected_prefixes:
+                    continue  # already covered by the connected route
+                src.fib.install(
+                    prefix, RouteEntry(out_ifname, nh_addr, dist[dst_name], "spf")
+                )
+                installed += 1
+    return installed
+
+
+def _converge_ecmp(net: "Network", domain: str) -> int:
+    """ECMP variant of :func:`converge`: per-destination relaxation.
+
+    For destination D, router S's equal-cost first hops are the neighbours
+    v with ``metric(S,v) + dist_D(v) == dist_D(S)`` — the standard OSPF
+    multipath condition.  Assumes symmetric link metrics (true for every
+    link :meth:`repro.topology.Network.connect` creates).
+    """
+    g = _domain_graph(net, domain)
+    routers = {name: net.nodes[name] for name in g.nodes}
+    installed = 0
+    for src in routers.values():
+        assert isinstance(src, Router)
+        for subnet, ifname in src.connected_prefixes.items():
+            src.fib.install(subnet, RouteEntry(ifname, None, 0.0, "connected"))
+            installed += 1
+    for dst_name, dst in routers.items():
+        assert isinstance(dst, Router)
+        dist, _paths = _deterministic_dijkstra(g, dst_name)
+        prefixes = advertised_prefixes(dst)
+        for src_name, src in routers.items():
+            assert isinstance(src, Router)
+            if src_name == dst_name or src_name not in dist:
+                continue
+            candidates: list[tuple[str, IPv4Address]] = []
+            for v in sorted(g.neighbors(src_name)):
+                if v not in dist:
+                    continue
+                if abs(g[src_name][v]["metric"] + dist[v] - dist[src_name]) <= 1e-12:
+                    dl = g[src_name][v]["duplex"]
+                    out_ifname, nh_addr = _egress_towards(dl, src_name)
+                    candidates.append((out_ifname, nh_addr))
+            if not candidates:
+                continue
+            (primary_if, primary_nh), *alts = candidates
+            for prefix in prefixes:
+                if prefix in src.connected_prefixes:
+                    continue
+                src.fib.install(
+                    prefix,
+                    RouteEntry(primary_if, primary_nh, dist[src_name], "spf",
+                               alternates=tuple(alts)),
+                )
+                installed += 1
+    return installed
+
+
+def _deterministic_dijkstra(
+    g: nx.Graph, src: str
+) -> tuple[dict[str, float], dict[str, list[str]]]:
+    """Dijkstra with lexicographic tie-breaking on the path's node names.
+
+    networkx's implementation is deterministic only up to adjacency-dict
+    order; we make equal-cost choices explicit so FIBs are identical across
+    runs and platforms regardless of construction order.
+    """
+    import heapq
+
+    dist: dict[str, float] = {src: 0.0}
+    paths: dict[str, list[str]] = {src: [src]}
+    heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (src,), src)]
+    done: set[str] = set()
+    while heap:
+        d, path_key, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        paths[u] = list(path_key)
+        for v in sorted(g.neighbors(u)):
+            if v in done:
+                continue
+            nd = d + g[u][v]["metric"]
+            if v not in dist or nd < dist[v] - 1e-12 or (
+                abs(nd - dist[v]) <= 1e-12 and path_key + (v,) < tuple(paths.get(v, ()))
+            ):
+                dist[v] = nd
+                paths[v] = list(path_key) + [v]
+                heapq.heappush(heap, (nd, path_key + (v,), v))
+    return dist, paths
+
+
+def clear_routes(router: Router, sources: tuple[str, ...] = ("spf", "connected")) -> int:
+    """Withdraw every FIB route whose provenance is in ``sources``.
+
+    Used before reconvergence so stale paths through failed links vanish;
+    static/BGP/bench routes survive.
+    """
+    removed = 0
+    for prefix, entry in list(router.fib.routes()):
+        if entry.source in sources:
+            router.fib.withdraw(prefix)
+            removed += 1
+    return removed
+
+
+def reconverge(net: "Network", domain: str = "core") -> int:
+    """Recompute the IGP after a topology change (link failure/restore).
+
+    Models the end state of an SPF re-run triggered by LSA flooding: every
+    in-domain router's SPF/connected routes are flushed and recomputed over
+    the current link states.  The *time* reconvergence takes (hello/dead
+    timers + SPF delay) is an experiment parameter, not simulated here —
+    the resilience experiment applies it as a delay before calling this.
+    """
+    g = _domain_graph(net, domain)
+    for name in g.nodes:
+        node = net.nodes[name]
+        if isinstance(node, Router):
+            clear_routes(node)
+    return converge(net, domain)
+
+
+def spf_paths(net: "Network", src: str, dst: str, domain: str = "core") -> list[str]:
+    """The deterministic shortest path ``src → dst`` as a node-name list."""
+    g = _domain_graph(net, domain)
+    _dist, paths = _deterministic_dijkstra(g, src)
+    if dst not in paths:
+        raise nx.NetworkXNoPath(f"no path {src} -> {dst}")
+    return paths[dst]

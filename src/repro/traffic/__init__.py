@@ -1,0 +1,19 @@
+"""Traffic generation and collection."""
+
+from repro.traffic.elastic import ElasticSource
+
+from repro.traffic.generators import (
+    CbrSource,
+    OnOffSource,
+    ParetoOnOffSource,
+    PoissonSource,
+    TrafficSource,
+    voice_source,
+)
+from repro.traffic.sink import FlowRecord, FlowSink
+
+__all__ = [
+    "CbrSource", "OnOffSource", "ParetoOnOffSource", "PoissonSource",
+    "TrafficSource", "voice_source", "FlowRecord", "FlowSink",
+    "ElasticSource",
+]

@@ -1,0 +1,223 @@
+"""Closed-loop elastic traffic: a TCP-Reno-flavoured AIMD source.
+
+The open-loop generators in :mod:`repro.traffic.generators` model voice
+and fixed-rate applications; the "migrate applications to converged IP
+networks" traffic of the paper's conclusion is *elastic* — it fills
+whatever the network gives it and backs off on loss.  This module
+implements the essentials of Reno congestion control over the simulated
+network, with a go-back-N retransmission model:
+
+* slow start (cwnd += 1 per ACK below ssthresh),
+* congestion avoidance (cwnd += 1/cwnd per ACK),
+* fast retransmit on 3 duplicate ACKs (multiplicative decrease),
+* retransmission timeout with exponential RTT estimation (cwnd → 1).
+
+The receiver side is a tiny responder installed on the destination node:
+it cumulatively ACKs in-order data, and the ACKs travel back through the
+simulated network (so reverse-path congestion is real too).
+
+Elastic flows are what make the RED-vs-DropTail ablation (E9b) mean what
+it meant in 1993: with closed loops, early random drops keep the pipe
+full at low delay, while DropTail synchronizes the sawteeth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.address import IPv4Address
+from repro.net.node import Node
+from repro.net.packet import IPHeader, Packet
+from repro.sim.engine import Simulator, Timer
+
+__all__ = ["ElasticSource"]
+
+
+class ElasticSource:
+    """One AIMD bulk-transfer flow between two hosts.
+
+    Parameters
+    ----------
+    sim, src_node, dst_node:
+        Endpoints; both must be routable toward each other.
+    flow:
+        Flow id for the data packets; ACKs use ``"<flow>.ack"``.
+    mss_bytes:
+        Data payload per segment.
+    dscp:
+        Marking for the data direction (ACKs inherit it).
+    initial_ssthresh:
+        Slow-start threshold in segments.
+    max_cwnd:
+        Cap on the window (receiver-window stand-in).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src_node: Node,
+        dst_node: Node,
+        src_addr: IPv4Address | str,
+        dst_addr: IPv4Address | str,
+        flow: str = "elastic",
+        mss_bytes: int = 1400,
+        dscp: int = 0,
+        dst_port: int = 80,
+        initial_ssthresh: int = 32,
+        max_cwnd: int = 128,
+    ) -> None:
+        self.sim = sim
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.src = IPv4Address.parse(src_addr)
+        self.dst = IPv4Address.parse(dst_addr)
+        self.flow = flow
+        self.mss = mss_bytes
+        self.dscp = dscp
+        self.dst_port = dst_port
+
+        # Congestion state (cwnd in segments, possibly fractional in CA).
+        self.cwnd = 1.0
+        self.ssthresh = float(initial_ssthresh)
+        self.max_cwnd = float(max_cwnd)
+        self._next_seq = 0          # next new segment to send
+        self._acked = 0             # next seq the receiver expects
+        self._dupacks = 0
+        self._running = False
+
+        # RTT estimation (RFC 6298-style, coarse).
+        self._srtt: float | None = None
+        self._rttvar = 0.0
+        self._rto = 0.5
+        self._send_times: dict[int, float] = {}
+        self._timer = Timer(sim, self._on_timeout)
+
+        # Receiver state lives here too (the responder is stateless apart
+        # from the cumulative counter).
+        self._rcv_next = 0
+        self.delivered_segments = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+
+        dst_node.add_local_sink(self._receiver)
+        src_node.add_local_sink(self._on_ack)
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    def start(self, at: float = 0.0) -> None:
+        self._running = True
+        self.sim.schedule_at(max(at, self.sim.now), self._pump)
+
+    def stop(self) -> None:
+        self._running = False
+        self._timer.cancel()
+
+    def _pump(self) -> None:
+        """Send while the window allows."""
+        if not self._running:
+            return
+        while self._next_seq < self._acked + int(self.cwnd):
+            self._send_segment(self._next_seq)
+            self._next_seq += 1
+        if not self._timer.armed:
+            self._timer.start(self._rto)
+
+    def _send_segment(self, seq: int) -> None:
+        pkt = Packet(
+            ip=IPHeader(self.src, self.dst, dscp=self.dscp, proto="tcp",
+                        dst_port=self.dst_port),
+            payload_bytes=self.mss,
+            flow=self.flow,
+            seq=seq,
+            created=self.sim.now,
+        )
+        self._send_times.setdefault(seq, self.sim.now)
+        self.src_node.send(pkt)
+
+    # ------------------------------------------------------------------
+    def _on_ack(self, pkt: Packet) -> None:
+        if pkt.flow != f"{self.flow}.ack" or not self._running:
+            return
+        ack = pkt.seq  # cumulative: next expected seq
+        if ack > self._acked:
+            self._sample_rtt(ack - 1)
+            newly = ack - self._acked
+            self._acked = ack
+            self._dupacks = 0
+            if self.cwnd < self.ssthresh:
+                self.cwnd = min(self.cwnd + newly, self.max_cwnd)
+            else:
+                self.cwnd = min(self.cwnd + newly / self.cwnd, self.max_cwnd)
+            self._timer.start(self._rto)  # restart for remaining data
+            self._pump()
+        else:
+            self._dupacks += 1
+            if self._dupacks == 3:
+                # Fast retransmit + multiplicative decrease (go-back-N).
+                self.fast_retransmits += 1
+                self.ssthresh = max(self.cwnd / 2.0, 2.0)
+                self.cwnd = self.ssthresh
+                self._go_back()
+
+    def _sample_rtt(self, seq: int) -> None:
+        t0 = self._send_times.pop(seq, None)
+        # Drop all earlier samples (cumulative ACK covers them).
+        for s in [s for s in self._send_times if s < seq]:
+            self._send_times.pop(s, None)
+        if t0 is None:
+            return
+        rtt = self.sim.now - t0
+        if self._srtt is None:
+            self._srtt, self._rttvar = rtt, rtt / 2
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - rtt)
+            self._srtt = 0.875 * self._srtt + 0.125 * rtt
+        self._rto = max(0.05, self._srtt + 4 * self._rttvar)
+
+    def _on_timeout(self) -> None:
+        if not self._running or self._acked >= self._next_seq:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2.0, 2.0)
+        self.cwnd = 1.0
+        self._rto = min(self._rto * 2, 10.0)  # backoff
+        self._go_back()
+
+    def _go_back(self) -> None:
+        """Go-back-N: resend from the first unacknowledged segment."""
+        self.retransmits += self._next_seq - self._acked
+        self._next_seq = self._acked
+        self._send_times.clear()
+        self._timer.start(self._rto)
+        self._pump()
+
+    # ------------------------------------------------------------------
+    # Receiver (runs at dst_node)
+    # ------------------------------------------------------------------
+    def _receiver(self, pkt: Packet) -> None:
+        if pkt.flow != self.flow:
+            return
+        if pkt.seq == self._rcv_next:
+            self._rcv_next += 1
+            self.delivered_segments += 1
+        # Cumulative ACK either way (dup ACK when out of order).
+        ack = Packet(
+            ip=IPHeader(self.dst, self.src, dscp=self.dscp, proto="tcp",
+                        src_port=self.dst_port),
+            payload_bytes=20,
+            flow=f"{self.flow}.ack",
+            seq=self._rcv_next,
+            created=self.sim.now,
+        )
+        self.dst_node.send(ack)
+
+    # ------------------------------------------------------------------
+    @property
+    def goodput_bytes(self) -> int:
+        """In-order bytes delivered to the receiver."""
+        return self.delivered_segments * self.mss
+
+    def goodput_bps(self, duration_s: float) -> float:
+        return self.goodput_bytes * 8.0 / duration_s if duration_s > 0 else 0.0

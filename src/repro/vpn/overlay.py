@@ -1,0 +1,181 @@
+"""Overlay VPN baseline: per-pair virtual circuits (frame relay / ATM model).
+
+This is what the paper's §2.1 argues *against*: every pair of sites that
+must communicate gets its own virtual circuit, provisioned hop-by-hop
+through the backbone.  A full mesh of N sites therefore needs N(N−1)/2
+circuits, and every transit switch holds state for every circuit crossing
+it.  The builder here installs working VC forwarding state (so integration
+tests can push packets through the overlay) *and* counts everything the E1
+experiment tabulates: circuits, per-node state entries, and signaling
+messages (one setup + one confirm per hop per direction, the PVC
+provisioning cost).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.net.packet import Packet
+from repro.routing.router import Router
+from repro.routing.spf import _deterministic_dijkstra, _domain_graph, _egress_towards
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology import Network
+
+__all__ = ["VcRouter", "VirtualCircuit", "OverlayResult", "OverlayVpnBuilder"]
+
+
+class VcRouter(Router):
+    """Router that also switches packets tagged with a virtual-circuit id.
+
+    ``vc_table`` maps an incoming VC id to (out_ifname, next_vc_id) — the
+    label-swap-like per-hop behaviour of frame relay DLCIs / ATM VPI:VCI.
+    """
+
+    def __init__(self, sim, name, **kw) -> None:
+        super().__init__(sim, name, **kw)
+        self.vc_table: dict[int, tuple[str, int]] = {}
+        # Circuits terminating here deliver to the local sink (the "site").
+        self.vc_terminations: set[int] = set()
+
+    def handle(self, pkt: Packet, ifname: str) -> None:
+        if pkt.vc_id is not None:
+            if pkt.vc_id in self.vc_terminations:
+                pkt.vc_id = None
+                self.deliver_local(pkt)
+                return
+            hop = self.vc_table.get(pkt.vc_id)
+            if hop is None:
+                self.drop(pkt, "no_vc")
+                return
+            out_ifname, next_vc = hop
+            pkt.vc_id = next_vc
+            self.transmit(pkt, out_ifname)
+            return
+        super().handle(pkt, ifname)
+
+    @property
+    def vc_state_entries(self) -> int:
+        return len(self.vc_table) + len(self.vc_terminations)
+
+
+@dataclass(frozen=True, slots=True)
+class VirtualCircuit:
+    """One unidirectional provisioned circuit."""
+
+    vc_id: int               # id on the first hop (ids are swapped per hop)
+    src: str
+    dst: str
+    path: tuple[str, ...]
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
+
+@dataclass
+class OverlayResult:
+    """Census of one overlay build — the E1 row for the baseline."""
+
+    circuits: list[VirtualCircuit] = field(default_factory=list)
+    signaling_messages: int = 0
+    state_entries_by_node: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def circuit_count(self) -> int:
+        """Bidirectional circuit count (VC pairs)."""
+        return len(self.circuits) // 2
+
+    @property
+    def total_state_entries(self) -> int:
+        return sum(self.state_entries_by_node.values())
+
+    @property
+    def max_state_on_one_node(self) -> int:
+        return max(self.state_entries_by_node.values(), default=0)
+
+
+class OverlayVpnBuilder:
+    """Provision per-pair circuits between site attachment routers."""
+
+    def __init__(self, net: "Network", domain: str = "core") -> None:
+        self.net = net
+        self.domain = domain
+        self._vc_ids = itertools.count(1)
+        # Per-source SPF cache: the topology is static during a build, and
+        # a 200-site full mesh provisions ~40k circuits — recomputing
+        # Dijkstra per circuit would dominate E1's runtime for no benefit.
+        self._graph = None
+        self._spf_cache: dict[str, dict[str, list[str]]] = {}
+
+    def _paths_from(self, src: str) -> dict[str, list[str]]:
+        if self._graph is None:
+            self._graph = _domain_graph(self.net, self.domain)
+        paths = self._spf_cache.get(src)
+        if paths is None:
+            _dist, paths = _deterministic_dijkstra(self._graph, src)
+            self._spf_cache[src] = paths
+        return paths
+
+    # ------------------------------------------------------------------
+    def provision_circuit(self, src: str, dst: str) -> VirtualCircuit:
+        """One unidirectional VC from ``src`` to ``dst`` along the IGP path.
+
+        Installs swap state at each transit node and a termination at the
+        destination; counts 2 signaling messages per hop (setup + confirm).
+        """
+        g = self._graph if self._graph is not None else _domain_graph(self.net, self.domain)
+        self._graph = g
+        paths = self._paths_from(src)
+        if dst not in paths or len(paths[dst]) < 2:
+            raise ValueError(f"no path {src}->{dst}")
+        path = paths[dst]
+        # Per-hop VC ids, swapped like DLCIs; allocate one per segment.
+        ids = [next(self._vc_ids) for _ in range(len(path) - 1)]
+        for i, (u, v) in enumerate(zip(path, path[1:])):
+            node = self.net.nodes[u]
+            assert isinstance(node, VcRouter), f"{u} is not a VcRouter"
+            dl = g[u][v]["duplex"]
+            out_ifname, _ = _egress_towards(dl, u)
+            next_vc = ids[i + 1] if i + 1 < len(ids) else ids[i]
+            node.vc_table[ids[i]] = (out_ifname, next_vc)
+        last = self.net.nodes[path[-1]]
+        assert isinstance(last, VcRouter)
+        last.vc_terminations.add(ids[-1])
+        self.net.counters.incr("overlay.signaling_msgs", 2 * (len(path) - 1))
+        return VirtualCircuit(ids[0], src, dst, tuple(path))
+
+    # ------------------------------------------------------------------
+    def build_full_mesh(self, site_routers: Sequence[str]) -> OverlayResult:
+        """Full mesh of bidirectional circuits among ``site_routers``.
+
+        N sites → N(N−1)/2 circuit pairs → N(N−1) unidirectional VCs.
+        """
+        result = OverlayResult()
+        for a, b in itertools.combinations(sorted(site_routers), 2):
+            result.circuits.append(self.provision_circuit(a, b))
+            result.circuits.append(self.provision_circuit(b, a))
+        result.signaling_messages = self.net.counters["overlay.signaling_msgs"]
+        for name, node in self.net.nodes.items():
+            if isinstance(node, VcRouter) and node.vc_state_entries:
+                result.state_entries_by_node[name] = node.vc_state_entries
+        return result
+
+    def build_hub_spoke(self, hub: str, spokes: Sequence[str]) -> OverlayResult:
+        """Hub-and-spoke alternative: 2(N−1) VCs, but all traffic hairpins."""
+        result = OverlayResult()
+        for spoke in sorted(spokes):
+            result.circuits.append(self.provision_circuit(hub, spoke))
+            result.circuits.append(self.provision_circuit(spoke, hub))
+        result.signaling_messages = self.net.counters["overlay.signaling_msgs"]
+        for name, node in self.net.nodes.items():
+            if isinstance(node, VcRouter) and node.vc_state_entries:
+                result.state_entries_by_node[name] = node.vc_state_entries
+        return result
+
+
+def expected_full_mesh_circuits(n_sites: int) -> int:
+    """The paper's §2.1 formula: N(N−1)/2 (45 for 10 sites, 19 900 for 200)."""
+    return n_sites * (n_sites - 1) // 2

@@ -1,0 +1,150 @@
+"""Provider Edge router.
+
+The PE is where RFC 2547 happens: customer-facing interfaces are bound to
+VRFs, customer packets are looked up in *their* VRF only, and remote
+destinations get the two-level label stack — inner VPN label (selects the
+VRF at the egress PE), outer tunnel label (the LDP/TE LSP to the egress
+PE's loopback).  The core never sees customer addresses, which is both the
+scalability argument (claim C1: P routers keep no per-VPN state) and the
+isolation argument (claim C5).
+
+QoS at the edge (claim C6): when ``qos_exp_mapping`` is on, the PE copies
+the customer's DSCP into the EXP bits of both imposed labels, so the core
+can schedule on EXP without ever parsing the customer header.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpls.label import IMPLICIT_NULL
+from repro.mpls.lfib import LabelOp, LfibEntry
+from repro.mpls.lsr import Lsr
+from repro.net.address import IPv4Address, Prefix
+from repro.net.packet import Packet
+from repro.qos.dscp import dscp_to_exp
+from repro.sim.engine import bind
+from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget
+from repro.vpn.vrf import Vrf, VrfRoute
+
+__all__ = ["PeRouter"]
+
+
+class PeRouter(Lsr):
+    """LSR + VRFs + attachment circuits."""
+
+    def __init__(self, sim, name, qos_exp_mapping: bool = True, **kw) -> None:
+        super().__init__(sim, name, **kw)
+        self.vrfs: dict[str, Vrf] = {}
+        self._vrf_of_circuit: dict[str, Vrf] = {}
+        self.qos_exp_mapping = qos_exp_mapping
+        # Which stack entries carry the class: "both" (RFC 3270's safe
+        # choice) or "outer-only" (loses the class at penultimate-hop pop —
+        # the E9c ablation shows the resulting last-hop QoS hole).
+        self.exp_mode = "both"
+        self.vpn_deliver = self._vpn_deliver
+
+    # ------------------------------------------------------------------
+    # Control plane / provisioning
+    # ------------------------------------------------------------------
+    def add_vrf(
+        self,
+        name: str,
+        rd: RouteDistinguisher,
+        import_rts: frozenset[RouteTarget] | set[RouteTarget],
+        export_rts: frozenset[RouteTarget] | set[RouteTarget],
+    ) -> Vrf:
+        """Create a VRF and allocate its aggregate VPN label.
+
+        The label is installed in this PE's LFIB with the VPN op, so
+        tunnel-decapsulated packets carrying it land in the right table.
+        """
+        if name in self.vrfs:
+            raise ValueError(f"{self.name}: duplicate VRF {name!r}")
+        label = self.labels.allocate()
+        vrf = Vrf(name, rd, frozenset(import_rts), frozenset(export_rts), label)
+        self.vrfs[name] = vrf
+        self.lfib.install(label, LfibEntry(LabelOp.VPN, vrf=name, lsp_id=f"vrf:{name}"))
+        return vrf
+
+    def bind_circuit(self, ifname: str, vrf_name: str) -> None:
+        """Attach a customer-facing interface to a VRF.
+
+        The interface's connected subnet is *moved* out of the global
+        routing context into the VRF so it never enters the provider IGP.
+        """
+        if ifname not in self.interfaces:
+            raise ValueError(f"{self.name}: no interface {ifname!r}")
+        vrf = self.vrfs[vrf_name]
+        self._vrf_of_circuit[ifname] = vrf
+        vrf.circuits.append(ifname)
+        for subnet, owner_if in list(self.connected_prefixes.items()):
+            if owner_if == ifname:
+                del self.connected_prefixes[subnet]
+                vrf.add_local(subnet, ifname)
+
+    def vrf_of_circuit(self, ifname: str) -> Optional[Vrf]:
+        return self._vrf_of_circuit.get(ifname)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def handle(self, pkt: Packet, ifname: str) -> None:
+        vrf = self._vrf_of_circuit.get(ifname)
+        if vrf is not None and not pkt.mpls_stack:
+            # Customer packet entering its VPN at this PE.
+            self.after_processing(
+                self.processing.ip_lookup_s, bind(self._handle_customer, pkt, vrf)
+            )
+            return
+        super().handle(pkt, ifname)
+
+    def _handle_customer(self, pkt: Packet, vrf: Vrf) -> None:
+        if pkt.decrement_ttl() <= 0:
+            self.drop(pkt, "ttl")
+            return
+        route = vrf.lookup(pkt.ip.dst)
+        if route is None:
+            self.drop(pkt, "no_vrf_route")
+            return
+        if route.kind == "local":
+            # Site-to-site through one PE (both sites on this PE).
+            self.transmit(pkt, route.out_ifname)  # type: ignore[arg-type]
+            return
+        self._forward_remote(pkt, route)
+
+    def _forward_remote(self, pkt: Packet, route: VrfRoute) -> None:
+        assert route.remote_pe is not None and route.vpn_label is not None
+        exp = dscp_to_exp(pkt.ip.dscp) if self.qos_exp_mapping else 0
+        inner_exp = exp if self.exp_mode == "both" else 0
+        pkt.push_label(route.vpn_label, exp=inner_exp)
+        # Resolve the tunnel to the egress PE's loopback through the FTN
+        # (an LDP binding or a TE tunnel autoroute).
+        tunnel = self.ftn.lookup(Prefix.of(route.remote_pe, 32))
+        if tunnel is None:
+            pkt.pop_label()
+            self.drop(pkt, "no_tunnel")
+            return
+        for label in tunnel.labels:
+            if label != IMPLICIT_NULL:
+                pkt.push_label(label, exp=exp)
+        self.transmit(pkt, tunnel.out_ifname)
+
+    def _vpn_deliver(self, pkt: Packet, vrf_name: str) -> None:
+        """Egress side: tunnel label already removed, VPN label popped."""
+        vrf = self.vrfs.get(vrf_name)
+        if vrf is None:
+            self.drop(pkt, "unknown_vrf")
+            return
+        route = vrf.lookup(pkt.ip.dst)
+        if route is None or route.kind != "local":
+            # Hairpinning remote->remote through an egress PE would be a
+            # provisioning loop; refuse rather than bounce across the core.
+            self.drop(pkt, "no_vrf_route")
+            return
+        self.transmit(pkt, route.out_ifname)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def vrf_state_entries(self) -> int:
+        """Total per-VPN state on this PE (for the E1 state census)."""
+        return sum(len(v) for v in self.vrfs.values())

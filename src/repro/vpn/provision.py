@@ -1,0 +1,316 @@
+"""VPN provisioning: the ISP workflow of the paper's §4.
+
+"An ISP can deploy a VPN by provisioning a set of LSPs to provide
+connectivity among the different sites in the VPN.  Each site then
+advertises to the ISP a set of prefixes that are reachable within the
+local site."  :class:`VpnProvisioner` automates exactly that:
+
+1. ``create_vpn``   — allocate RD/RT, pick the customer supernet.
+2. ``add_site``     — create the CE (+ optional hosts), wire the access
+   link, bind the PE interface into the VPN's VRF, and register the site
+   prefix (the *membership discovery* + *reachability exchange* functions
+   of §4.1/§4.2).
+3. ``converge``     — run MP-BGP over the PEs; tunnels come from LDP or TE
+   (run separately, once, for the whole provider — they are shared by all
+   VPNs, which is the heart of the scalability claim C1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+from repro.net.address import IPv4Address, Prefix
+from repro.net.node import Host
+from repro.vpn.bgp import BgpResult, MpBgp
+from repro.vpn.ce import CeRouter
+from repro.vpn.pe import PeRouter
+from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology import Network
+
+__all__ = ["Site", "Vpn", "VpnProvisioner"]
+
+
+@dataclass
+class Site:
+    """One provisioned customer site."""
+
+    vpn_name: str
+    site_id: int
+    pe: PeRouter
+    ce: CeRouter
+    prefix: Prefix
+    pe_ifname: str       # PE's interface toward the CE
+    ce_ifname: str       # CE's interface toward the PE
+    hosts: list[Host] = field(default_factory=list)
+    role: str = "mesh"   # "mesh" | "spoke" | "hub"
+    extra: dict = field(default_factory=dict)  # hub: second-circuit names
+
+    def host_addr(self, index: int = 0) -> IPv4Address:
+        """Address of the ``index``-th host in this site."""
+        return self.hosts[index].loopback or next(iter(self.hosts[index].addresses))
+
+
+@dataclass
+class Vpn:
+    """One customer VPN: identity + policy + its sites.
+
+    ``topology`` is ``"mesh"`` (any-to-any, import = export = ``rt``) or
+    ``"hub-spoke"`` (spokes exchange routes only with the hub; spoke-to-
+    spoke traffic hairpins through the hub site — the classic RFC 2547
+    asymmetric-RT pattern, using ``rt_hub``/``rt_spoke``).
+    """
+
+    name: str
+    rd: RouteDistinguisher
+    rt: RouteTarget
+    supernet: Prefix
+    topology: str = "mesh"
+    rt_hub: RouteTarget | None = None
+    rt_spoke: RouteTarget | None = None
+    sites: list[Site] = field(default_factory=list)
+    _site_prefixes: Iterator[Prefix] = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._site_prefixes is None:
+            self._site_prefixes = self.supernet.subnets(24)
+
+    def next_site_prefix(self) -> Prefix:
+        return next(self._site_prefixes)
+
+
+class VpnProvisioner:
+    """Builds VPNs over an existing MPLS backbone."""
+
+    def __init__(
+        self,
+        net: "Network",
+        asn: int = 65000,
+        access_rate_bps: float = 10e6,
+        access_delay_s: float = 0.5e-3,
+    ) -> None:
+        self.net = net
+        self.asn = asn
+        self.access_rate_bps = access_rate_bps
+        self.access_delay_s = access_delay_s
+        self.vpns: dict[str, Vpn] = {}
+        self._rd_numbers = itertools.count(1)
+        self._site_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    def create_vpn(self, name: str, supernet: str | Prefix = "10.0.0.0/8") -> Vpn:
+        """Register a VPN; note that *every* VPN may use the same supernet —
+        overlapping plans are the E7 scenario and are fully supported."""
+        if name in self.vpns:
+            raise ValueError(f"duplicate VPN {name!r}")
+        number = next(self._rd_numbers)
+        vpn = Vpn(
+            name=name,
+            rd=RouteDistinguisher(self.asn, number),
+            rt=RouteTarget(self.asn, number),
+            supernet=Prefix.parse(supernet) if isinstance(supernet, str) else supernet,
+        )
+        self.vpns[name] = vpn
+        return vpn
+
+    def create_hub_spoke_vpn(
+        self, name: str, supernet: str | Prefix = "10.0.0.0/8"
+    ) -> Vpn:
+        """Register a hub-and-spoke VPN (distinct hub/spoke route targets)."""
+        vpn = self.create_vpn(name, supernet)
+        number = next(self._rd_numbers)
+        vpn.topology = "hub-spoke"
+        vpn.rt_hub = RouteTarget(self.asn, number)
+        vpn.rt_spoke = RouteTarget(self.asn, number + 50000)
+        return vpn
+
+    # ------------------------------------------------------------------
+    def add_site(
+        self,
+        vpn: Vpn | str,
+        pe: PeRouter,
+        prefix: Prefix | str | None = None,
+        num_hosts: int = 1,
+        host_rate_bps: float = 100e6,
+        role: str | None = None,
+    ) -> Site:
+        """Provision one site behind ``pe``.
+
+        Creates the CE, the access link, the VRF binding, and ``num_hosts``
+        hosts inside the site prefix.  For mesh VPNs the VRF is created on
+        first use of this PE by this VPN (import = export = the VPN's RT);
+        for hub-and-spoke VPNs ``role`` selects the RT policy (default
+        "spoke"; use :meth:`add_hub_site` or ``role="hub"`` for the hub).
+        """
+        v = self.vpns[vpn] if isinstance(vpn, str) else vpn
+        if v.topology == "hub-spoke":
+            role = role or "spoke"
+            if role == "hub":
+                return self.add_hub_site(v, pe, prefix, num_hosts, host_rate_bps)
+            if role != "spoke":
+                raise ValueError(f"hub-spoke VPN sites are 'hub' or 'spoke', not {role!r}")
+        else:
+            if role not in (None, "mesh"):
+                raise ValueError(f"mesh VPN sites cannot have role {role!r}")
+            role = "mesh"
+
+        site_id = next(self._site_ids)
+        site_prefix = self._pick_prefix(v, prefix)
+        ce, ce_ifname, pe_ifname = self._wire_ce(v, pe, site_id)
+
+        ce.add_site_prefix(site_prefix)
+        if role == "spoke":
+            vrf_name = f"{v.name}-spoke"
+            if vrf_name not in pe.vrfs:
+                pe.add_vrf(vrf_name, v.rd, {v.rt_hub}, {v.rt_spoke})
+        else:
+            vrf_name = v.name
+            if vrf_name not in pe.vrfs:
+                pe.add_vrf(vrf_name, v.rd, {v.rt}, {v.rt})
+        pe.bind_circuit(pe_ifname, vrf_name)
+        ce_addr_on_link = next(
+            a for a, ifn in ce.addresses.items() if ifn == ce_ifname
+        )
+        pe.vrfs[vrf_name].add_local(
+            site_prefix, pe_ifname, next_hop=ce_addr_on_link, origin_site=site_id
+        )
+
+        site = Site(v.name, site_id, pe, ce, site_prefix, pe_ifname, ce_ifname,
+                    role=role)
+        for h in range(num_hosts):
+            site.hosts.append(self._add_host(site, h, host_rate_bps))
+        v.sites.append(site)
+        self.net.counters.incr("vpn.sites")
+        return site
+
+    def add_hub_site(
+        self,
+        vpn: Vpn | str,
+        pe: PeRouter,
+        prefix: Prefix | str | None = None,
+        num_hosts: int = 1,
+        host_rate_bps: float = 100e6,
+    ) -> Site:
+        """Provision the hub site of a hub-and-spoke VPN.
+
+        The hub attaches with *two* circuits, the standard dual-VRF
+        construction: the **down** VRF receives spoke traffic (it exports
+        the VPN supernet + hub prefix with ``rt_hub`` and imports nothing),
+        the **up** VRF carries traffic the hub CE sends back toward the
+        spokes (it imports ``rt_spoke`` and exports nothing).  Spoke-to-
+        spoke packets therefore hairpin through the hub CE — giving the
+        customer a central enforcement point, the reason this topology
+        exists.
+        """
+        v = self.vpns[vpn] if isinstance(vpn, str) else vpn
+        if v.topology != "hub-spoke":
+            raise ValueError(f"{v.name} is not a hub-spoke VPN")
+        site_id = next(self._site_ids)
+        site_prefix = self._pick_prefix(v, prefix)
+
+        ce = CeRouter(self.net.sim, self._node_name(f"ce-{v.name}-hub{site_id}"),
+                      site_id=site_id)
+        self.net.add_node(ce, loopback=False)
+        dl_dn = self.net.connect(ce, pe, self.access_rate_bps, self.access_delay_s)
+        dl_up = self.net.connect(ce, pe, self.access_rate_bps, self.access_delay_s)
+        ce_dn, pe_dn = dl_dn.if_ab.name, dl_dn.if_ba.name
+        ce_up, pe_up = dl_up.if_ab.name, dl_up.if_ba.name
+
+        # CE: default route (spoke-bound traffic) via the UP circuit.
+        pe_up_addr = next(a for a, ifn in pe.addresses.items() if ifn == pe_up)
+        ce.set_default_route(ce_up, pe_up_addr)
+        ce.add_site_prefix(site_prefix)
+
+        dn_name, up_name = f"{v.name}-hub-dn", f"{v.name}-hub-up"
+        if dn_name not in pe.vrfs:
+            pe.add_vrf(dn_name, v.rd, set(), {v.rt_hub})
+            pe.add_vrf(up_name, v.rd, {v.rt_spoke}, set())
+        pe.bind_circuit(pe_dn, dn_name)
+        pe.bind_circuit(pe_up, up_name)
+        ce_dn_addr = next(a for a, ifn in ce.addresses.items() if ifn == ce_dn)
+        # Down VRF owns the hub prefix AND the whole supernet: spokes learn
+        # "everything lives at the hub".
+        pe.vrfs[dn_name].add_local(site_prefix, pe_dn, next_hop=ce_dn_addr,
+                                   origin_site=site_id)
+        pe.vrfs[dn_name].add_local(v.supernet, pe_dn, next_hop=ce_dn_addr,
+                                   origin_site=site_id)
+
+        site = Site(v.name, site_id, pe, ce, site_prefix, pe_dn, ce_dn,
+                    role="hub", extra={"pe_up_ifname": pe_up, "ce_up_ifname": ce_up})
+        for h in range(num_hosts):
+            site.hosts.append(self._add_host(site, h, host_rate_bps))
+        v.sites.append(site)
+        self.net.counters.incr("vpn.sites")
+        return site
+
+    # ------------------------------------------------------------------
+    def _pick_prefix(self, v: Vpn, prefix: Prefix | str | None) -> Prefix:
+        if prefix is None:
+            return v.next_site_prefix()
+        return Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+
+    def _node_name(self, base: str) -> str:
+        """Prefer the short name; disambiguate by ASN when two providers
+        provision same-named VPNs into one Network (inter-AS scenarios)."""
+        if base not in self.net.nodes:
+            return base
+        return f"{base}-as{self.asn}"
+
+    def _wire_ce(self, v: Vpn, pe: PeRouter, site_id: int):
+        """Create the CE, its access link, and its default route."""
+        ce = CeRouter(self.net.sim, self._node_name(f"ce-{v.name}-s{site_id}"),
+                      site_id=site_id)
+        self.net.add_node(ce, loopback=False)
+        dl = self.net.connect(ce, pe, self.access_rate_bps, self.access_delay_s)
+        ce_ifname, pe_ifname = dl.if_ab.name, dl.if_ba.name
+        pe_addr_on_link = next(
+            a for a, ifn in pe.addresses.items() if ifn == pe_ifname
+        )
+        ce.set_default_route(ce_ifname, pe_addr_on_link)
+        return ce, ce_ifname, pe_ifname
+
+    def _add_host(self, site: Site, index: int, rate_bps: float) -> Host:
+        host = Host(self.net.sim,
+                    self._node_name(f"h-{site.vpn_name}-s{site.site_id}-{index}"))
+        self.net.add_node(host, loopback=False)
+        dl = self.net.connect(host, site.ce, rate_bps, 0.1e-3)
+        host_ifname, ce_ifname = dl.if_ab.name, dl.if_ba.name
+        host.gateway_ifname = host_ifname
+        # Host address inside the site prefix (offset past the link /30s).
+        addr = site.prefix.host(10 + index)
+        host.add_address(addr, host_ifname)
+        host.set_loopback(addr)
+        site.ce.add_host_route(addr, ce_ifname)
+        return host
+
+    # ------------------------------------------------------------------
+    def pes(self) -> list[PeRouter]:
+        """All PEs hosting at least one site, in name order."""
+        seen: dict[str, PeRouter] = {}
+        for vpn in self.vpns.values():
+            for site in vpn.sites:
+                seen[site.pe.name] = site.pe
+        return [seen[k] for k in sorted(seen)]
+
+    def converge_bgp(self, route_reflector: str | None = None) -> BgpResult:
+        """Run MP-BGP over every involved PE (tunnels must already exist)."""
+        return MpBgp(self.net, self.pes(), route_reflector=route_reflector).converge()
+
+    # ------------------------------------------------------------------
+    def state_census(self) -> dict[str, int]:
+        """Aggregate per-device VPN state for the E1 comparison."""
+        pes = self.pes()
+        vrf_entries = sum(pe.vrf_state_entries() for pe in pes)
+        vrf_count = sum(len(pe.vrfs) for pe in pes)
+        sites = sum(len(v.sites) for v in self.vpns.values())
+        return {
+            "sites": sites,
+            "pes": len(pes),
+            "vrfs": vrf_count,
+            "vrf_routes_total": vrf_entries,
+            "bgp_sessions": self.net.counters["bgp.sessions"],
+            "bgp_updates": self.net.counters["bgp.updates"],
+        }

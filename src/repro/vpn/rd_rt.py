@@ -1,0 +1,78 @@
+"""Route distinguishers and route targets (RFC 2547 §4.1/§4.3).
+
+A *route distinguisher* (RD) makes customer routes globally unique even
+when customers use overlapping address space: the VPN-IPv4 address family
+is simply ``RD : IPv4-prefix``.  A *route target* (RT) is the extended
+community controlling which VRFs import a route — RDs disambiguate, RTs
+authorize.  The distinction matters: two VPNs can share an RT (extranet)
+while keeping distinct RDs, which the E7 leak tests exercise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.address import Prefix
+
+__all__ = ["RouteDistinguisher", "RouteTarget", "VpnPrefix"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RouteDistinguisher:
+    """Type-0 RD: ``asn:assigned_number``."""
+
+    asn: int
+    number: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.asn <= 0xFFFF:
+            raise ValueError(f"ASN out of 16-bit range: {self.asn}")
+        if not 0 <= self.number <= 0xFFFFFFFF:
+            raise ValueError(f"RD number out of 32-bit range: {self.number}")
+
+    def __str__(self) -> str:
+        return f"{self.asn}:{self.number}"
+
+    @classmethod
+    def parse(cls, text: str) -> "RouteDistinguisher":
+        asn, _, num = text.partition(":")
+        return cls(int(asn), int(num))
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RouteTarget:
+    """Route-target extended community, also written ``asn:number``."""
+
+    asn: int
+    number: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.asn <= 0xFFFF:
+            raise ValueError(f"ASN out of 16-bit range: {self.asn}")
+        if not 0 <= self.number <= 0xFFFFFFFF:
+            raise ValueError(f"RT number out of 32-bit range: {self.number}")
+
+    def __str__(self) -> str:
+        return f"target:{self.asn}:{self.number}"
+
+    @classmethod
+    def parse(cls, text: str) -> "RouteTarget":
+        body = text.removeprefix("target:")
+        asn, _, num = body.partition(":")
+        return cls(int(asn), int(num))
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class VpnPrefix:
+    """A VPN-IPv4 route key: RD + customer prefix.
+
+    Distinct VPNs announcing the *same* 10.0.0.0/8 produce distinct
+    VpnPrefix values — the mechanism that lets one BGP system carry every
+    customer's overlapping plan (claim C5).
+    """
+
+    rd: RouteDistinguisher
+    prefix: Prefix
+
+    def __str__(self) -> str:
+        return f"{self.rd}:{self.prefix}"

@@ -1,0 +1,152 @@
+"""VPN Routing and Forwarding tables (VRFs).
+
+A PE router keeps one :class:`Vrf` per directly-attached VPN (RFC 2547
+§3): an isolated forwarding table whose routes come from (a) the locally
+attached sites and (b) MP-BGP imports matching the VRF's import route
+targets.  Isolation is structural — a VRF lookup can only ever return
+routes that were installed into *this* VRF, so overlapping customer
+addresses never meet in one table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.address import IPv4Address, Prefix
+from repro.routing.fib import Fib, RouteEntry
+from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget
+
+__all__ = ["VrfRoute", "Vrf"]
+
+
+@dataclass(frozen=True, slots=True)
+class VrfRoute:
+    """One VRF forwarding decision.
+
+    ``kind`` is ``"local"`` (reachable via an attachment circuit on this
+    PE) or ``"remote"`` (reachable via an MPLS tunnel to another PE, using
+    ``vpn_label`` as the inner label).
+    """
+
+    kind: str
+    out_ifname: str | None = None            # local: PE->CE interface
+    next_hop: IPv4Address | None = None      # local: CE address (informational)
+    remote_pe: IPv4Address | None = None     # remote: egress PE loopback
+    vpn_label: int | None = None             # remote: inner label
+    origin_site: int | None = None
+    metric: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind == "local" and self.out_ifname is None:
+            raise ValueError("local VRF route needs out_ifname")
+        if self.kind == "remote" and (self.remote_pe is None or self.vpn_label is None):
+            raise ValueError("remote VRF route needs remote_pe and vpn_label")
+        if self.kind not in ("local", "remote"):
+            raise ValueError(f"unknown VRF route kind {self.kind!r}")
+
+
+class Vrf:
+    """Per-VPN forwarding table on one PE.
+
+    Parameters
+    ----------
+    name:
+        VRF name, unique on the PE (conventionally the VPN name).
+    rd:
+        Route distinguisher for routes exported from this VRF.
+    import_rts / export_rts:
+        Route-target policy; see :mod:`repro.vpn.rd_rt`.
+    vpn_label:
+        The per-VRF aggregate label this PE advertises for all of the
+        VRF's routes; packets arriving with it are looked up in this VRF.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        rd: RouteDistinguisher,
+        import_rts: frozenset[RouteTarget],
+        export_rts: frozenset[RouteTarget],
+        vpn_label: int,
+    ) -> None:
+        self.name = name
+        self.rd = rd
+        self.import_rts = frozenset(import_rts)
+        self.export_rts = frozenset(export_rts)
+        self.vpn_label = vpn_label
+        self._fib = Fib()
+        self._routes: dict[Prefix, VrfRoute] = {}
+        # Interfaces (attachment circuits) bound to this VRF on the PE.
+        self.circuits: list[str] = []
+
+    # ------------------------------------------------------------------
+    def add_local(
+        self,
+        prefix: Prefix | str,
+        out_ifname: str,
+        next_hop: IPv4Address | None = None,
+        origin_site: int | None = None,
+    ) -> VrfRoute:
+        """Install a route learned from an attached site."""
+        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        route = VrfRoute(
+            "local", out_ifname=out_ifname, next_hop=next_hop, origin_site=origin_site
+        )
+        self._install(pfx, route)
+        return route
+
+    def add_remote(
+        self,
+        prefix: Prefix | str,
+        remote_pe: IPv4Address,
+        vpn_label: int,
+        origin_site: int | None = None,
+        metric: float = 0.0,
+    ) -> VrfRoute:
+        """Install a route imported from MP-BGP."""
+        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        route = VrfRoute(
+            "remote",
+            remote_pe=remote_pe,
+            vpn_label=vpn_label,
+            origin_site=origin_site,
+            metric=metric,
+        )
+        self._install(pfx, route)
+        return route
+
+    def _install(self, prefix: Prefix, route: VrfRoute) -> None:
+        self._routes[prefix] = route
+        # The trie stores a RouteEntry shell; the VrfRoute carries the real
+        # decision and is recovered via the prefix.
+        self._fib.install(prefix, RouteEntry(route.out_ifname or "", source=route.kind))
+
+    def withdraw(self, prefix: Prefix | str) -> bool:
+        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        if pfx not in self._routes:
+            return False
+        del self._routes[pfx]
+        self._fib.withdraw(pfx)
+        return True
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: IPv4Address) -> Optional[VrfRoute]:
+        """Longest-prefix match inside this VRF only."""
+        match = self._fib.lookup_prefix(addr)
+        if match is None:
+            return None
+        prefix, _shell = match
+        return self._routes.get(prefix)
+
+    def routes(self) -> dict[Prefix, VrfRoute]:
+        return dict(self._routes)
+
+    def local_routes(self) -> dict[Prefix, VrfRoute]:
+        return {p: r for p, r in self._routes.items() if r.kind == "local"}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Vrf {self.name} rd={self.rd} routes={len(self)}>"

@@ -1,0 +1,158 @@
+"""Unit + property tests for IPv4 addresses and prefixes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.address import MASKS, AddressError, IPv4Address, Prefix
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+class TestIPv4Address:
+    def test_parse_dotted_quad(self):
+        assert IPv4Address.parse("10.0.0.1").value == 0x0A000001
+        assert IPv4Address.parse("255.255.255.255").value == 0xFFFFFFFF
+        assert IPv4Address.parse("0.0.0.0").value == 0
+
+    def test_parse_int_and_passthrough(self):
+        a = IPv4Address.parse(42)
+        assert a.value == 42
+        assert IPv4Address.parse(a) is a
+
+    @pytest.mark.parametrize("bad", ["256.0.0.1", "1.2.3", "a.b.c.d", "1.2.3.4.5", ""])
+    def test_parse_rejects_malformed(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address.parse(bad)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+
+    def test_str_roundtrip_examples(self):
+        for text in ("192.168.1.254", "10.255.0.3", "172.16.31.1"):
+            assert str(IPv4Address.parse(text)) == text
+
+    @given(addresses)
+    def test_str_parse_roundtrip(self, value):
+        a = IPv4Address(value)
+        assert IPv4Address.parse(str(a)) == a
+
+    def test_ordering_and_add(self):
+        assert IPv4Address(1) < IPv4Address(2)
+        assert IPv4Address(1) + 5 == IPv4Address(6)
+        assert int(IPv4Address(9)) == 9
+
+    def test_in_prefix(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert IPv4Address.parse("10.1.2.3").in_prefix(p)
+        assert not IPv4Address.parse("10.2.0.0").in_prefix(p)
+
+
+class TestPrefix:
+    def test_parse_normalises_host_bits(self):
+        assert str(Prefix.parse("10.1.2.3/8")) == "10.0.0.0/8"
+
+    def test_parse_rejects_missing_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0")
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/x"])
+    def test_parse_rejects_bad_length(self, bad):
+        with pytest.raises(AddressError):
+            Prefix.parse(bad)
+
+    def test_of_builds_containing_prefix(self):
+        p = Prefix.of("10.1.2.3", 24)
+        assert str(p) == "10.1.2.0/24"
+        assert p.contains("10.1.2.3")
+
+    def test_mask_and_sizes(self):
+        p = Prefix.parse("192.168.4.0/30")
+        assert p.mask == MASKS[30]
+        assert p.num_addresses == 4
+        assert str(p.first) == "192.168.4.0"
+        assert str(p.last) == "192.168.4.3"
+
+    def test_zero_length_contains_everything(self):
+        default = Prefix.parse("0.0.0.0/0")
+        assert default.contains("255.1.2.3")
+        assert default.contains("0.0.0.0")
+
+    def test_host_route(self):
+        p = Prefix.parse("10.0.0.5/32")
+        assert p.contains("10.0.0.5")
+        assert not p.contains("10.0.0.6")
+        assert p.num_addresses == 1
+
+    @given(addresses, lengths)
+    def test_contains_its_own_network_and_broadcast(self, value, length):
+        p = Prefix.of(IPv4Address(value), length)
+        assert p.contains(p.first)
+        assert p.contains(p.last)
+
+    @given(addresses, lengths)
+    def test_str_parse_roundtrip(self, value, length):
+        p = Prefix.of(IPv4Address(value), length)
+        assert Prefix.parse(str(p)) == p
+
+    @given(addresses, st.integers(min_value=1, max_value=32))
+    def test_neighbouring_prefix_disjoint(self, value, length):
+        p = Prefix.of(IPv4Address(value), length)
+        if p.last.value < 0xFFFFFFFF:
+            nxt = IPv4Address(p.last.value + 1)
+            assert not p.contains(nxt)
+
+    def test_contains_prefix(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.contains_prefix(inner)
+        assert not inner.contains_prefix(outer)
+        assert outer.contains_prefix(outer)
+
+    def test_overlaps(self):
+        a = Prefix.parse("10.0.0.0/8")
+        b = Prefix.parse("10.5.0.0/16")
+        c = Prefix.parse("11.0.0.0/8")
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+    @given(addresses, lengths, addresses, lengths)
+    def test_overlap_symmetric(self, v1, l1, v2, l2):
+        p1 = Prefix.of(IPv4Address(v1), l1)
+        p2 = Prefix.of(IPv4Address(v2), l2)
+        assert p1.overlaps(p2) == p2.overlaps(p1)
+
+    def test_subnets_partition(self):
+        p = Prefix.parse("10.0.0.0/22")
+        subs = list(p.subnets(24))
+        assert len(subs) == 4
+        assert subs[0] == Prefix.parse("10.0.0.0/24")
+        assert subs[-1] == Prefix.parse("10.0.3.0/24")
+        # Disjoint and covering.
+        total = sum(s.num_addresses for s in subs)
+        assert total == p.num_addresses
+        for i, s in enumerate(subs):
+            for t in subs[i + 1:]:
+                assert not s.overlaps(t)
+
+    def test_subnets_rejects_shorter(self):
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(16))
+        with pytest.raises(AddressError):
+            list(Prefix.parse("10.0.0.0/24").subnets(33))
+
+    def test_host_indexing(self):
+        p = Prefix.parse("10.1.1.0/24")
+        assert str(p.host(0)) == "10.1.1.0"
+        assert str(p.host(255)) == "10.1.1.255"
+        with pytest.raises(AddressError):
+            p.host(256)
+        with pytest.raises(AddressError):
+            p.host(-1)
+
+    def test_prefixes_hashable_for_dict_keys(self):
+        d = {Prefix.parse("10.0.0.0/8"): 1}
+        assert d[Prefix.parse("10.1.0.0/8")] == 1  # normalised to same key

@@ -1,0 +1,144 @@
+"""Edge-case tests for MP-BGP distribution, re-convergence idempotence,
+and the RR/full-mesh accounting that E1/E9e depend on."""
+
+import pytest
+
+from repro.mpls import Lsr, run_ldp
+from repro.net.address import IPv4Address, Prefix
+from repro.net.packet import IPHeader, Packet
+from repro.routing import converge
+from repro.topology import Network
+from repro.vpn import MpBgp, PeRouter, VpnProvisioner
+from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget, VpnPrefix
+
+
+def star_of_pes(n, seed=17):
+    net = Network(seed=seed)
+    core = net.add_node(Lsr(net.sim, "core"))
+    pes = [net.add_node(PeRouter(net.sim, f"pe{i}")) for i in range(n)]
+    for pe in pes:
+        net.connect(pe, core)
+    return net, core, pes
+
+
+class TestBgpAccounting:
+    def test_rr_origin_is_reflector(self):
+        """When the RR itself originates a route it sends n-1 updates
+        directly (no reflection hop)."""
+        net, core, pes = star_of_pes(4)
+        prov = VpnProvisioner(net)
+        vpn = prov.create_vpn("v")
+        prov.add_site(vpn, pes[0], num_hosts=0)   # pe0 will be the RR
+        converge(net)
+        res = MpBgp(net, pes, route_reflector="pe0").converge()
+        # 2 exports (site prefix + access /30), each to 3 clients.
+        assert res.routes_exported == 2
+        assert res.updates_sent == 2 * 3
+
+    def test_non_rr_origin_costs_same_total(self):
+        net, core, pes = star_of_pes(4)
+        prov = VpnProvisioner(net)
+        vpn = prov.create_vpn("v")
+        prov.add_site(vpn, pes[1], num_hosts=0)   # origin is a client
+        converge(net)
+        res = MpBgp(net, pes, route_reflector="pe0").converge()
+        # origin -> RR (1) + RR -> other 2 clients = 3 per export.
+        assert res.updates_sent == 2 * 3
+
+    def test_single_pe_no_sessions(self):
+        net, core, pes = star_of_pes(1)
+        res = MpBgp(net, pes).converge()
+        assert res.sessions == 0 and res.updates_sent == 0
+
+    def test_duplicate_pe_names_rejected(self):
+        net, core, pes = star_of_pes(2)
+        with pytest.raises(ValueError):
+            MpBgp(net, [pes[0], pes[0]])
+
+    def test_reconverge_is_idempotent(self):
+        """Running converge() twice must not duplicate or corrupt routes."""
+        net, core, pes = star_of_pes(3)
+        prov = VpnProvisioner(net)
+        vpn = prov.create_vpn("v")
+        sites = [prov.add_site(vpn, pe, num_hosts=0) for pe in pes]
+        converge(net)
+        run_ldp(net)
+        bgp = MpBgp(net, pes)
+        bgp.converge()
+        before = {pe.name: dict(pe.vrfs["v"].routes()) for pe in pes}
+        bgp.converge()
+        after = {pe.name: dict(pe.vrfs["v"].routes()) for pe in pes}
+        assert before == after
+
+    def test_import_skips_own_exports(self):
+        net, core, pes = star_of_pes(2)
+        prov = VpnProvisioner(net)
+        vpn = prov.create_vpn("v")
+        s0 = prov.add_site(vpn, pes[0], prefix="10.5.0.0/24", num_hosts=0)
+        converge(net)
+        MpBgp(net, pes).converge()
+        # pe0's own site stays a *local* route (not replaced by an import).
+        route = pes[0].vrfs["v"].lookup(IPv4Address.parse("10.5.0.1"))
+        assert route.kind == "local"
+
+
+class TestVpnPrefixSemantics:
+    def test_same_prefix_different_rd_coexist_in_exports(self):
+        net, core, pes = star_of_pes(2)
+        prov = VpnProvisioner(net)
+        a = prov.create_vpn("a")
+        b = prov.create_vpn("b")
+        prov.add_site(a, pes[0], prefix="10.1.0.0/24", num_hosts=0)
+        prov.add_site(b, pes[0], prefix="10.1.0.0/24", num_hosts=0)
+        converge(net)
+        res = MpBgp(net, pes).converge()
+        keys = {r.key for r in res.exported}
+        same_prefix = [k for k in keys if k.prefix == Prefix.parse("10.1.0.0/24")]
+        assert len(same_prefix) == 2
+        assert same_prefix[0].rd != same_prefix[1].rd
+
+    def test_vpn_prefix_str(self):
+        vp = VpnPrefix(RouteDistinguisher(65000, 7), Prefix.parse("10.0.0.0/8"))
+        assert str(vp) == "65000:7:10.0.0.0/8"
+
+
+class TestVpnConservationUnderLoad:
+    def test_labeled_conservation(self):
+        """Packet conservation holds through the full VPN encapsulation
+        path under congestion (labels imposed/swapped/popped)."""
+        from repro.traffic import CbrSource, FlowSink
+
+        net, core, pes = star_of_pes(3, seed=23)
+        # Shrink core links to force drops.
+        for dl in net.duplex_links:
+            dl.if_ab.rate_bps = 2e6
+            dl.if_ba.rate_bps = 2e6
+        prov = VpnProvisioner(net)
+        vpn = prov.create_vpn("v")
+        sites = [prov.add_site(vpn, pe) for pe in pes]
+        converge(net)
+        run_ldp(net)
+        prov.converge_bgp()
+
+        sinks = [FlowSink(net.sim).attach(s.hosts[0]) for s in sites]
+        sources = []
+        for i, (src_site, dst_site) in enumerate(
+            [(0, 1), (1, 2), (2, 0)]
+        ):
+            h1 = sites[src_site].hosts[0]
+            h2 = sites[dst_site].hosts[0]
+            src = CbrSource(net.sim, h1.send, f"f{i}",
+                            str(h1.loopback), str(h2.loopback),
+                            payload_bytes=900, rate_bps=2.5e6)
+            src.start(0.0, stop_at=1.5)
+            sources.append((src, sinks[dst_site]))
+        net.run(until=4.0)
+
+        sent = sum(s.sent for s, _ in sources)
+        recv = sum(sink.received(f"f{i}") for i, (_s, sink) in enumerate(sources))
+        drops = net.total_drops() + sum(
+            n.stats.dropped_no_route + n.stats.dropped_ttl + n.stats.dropped_other
+            for n in net.nodes.values()
+        )
+        assert sent == recv + drops
+        assert drops > 0  # the scenario actually congested

@@ -1,0 +1,232 @@
+"""Tests for elastic (AIMD) sources, probe agents, time series, and Waxman."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.probes import ProbeAgent
+from repro.metrics.sla import VOICE_SLA
+from repro.metrics.timeseries import TimeSeries, attach_flow_series, attach_link_series
+from repro.routing import converge
+from repro.topology import Network, attach_host, build_line, build_waxman
+from repro.traffic import CbrSource, FlowSink
+from repro.traffic.elastic import ElasticSource
+
+
+def bottleneck(rate=5e6, seed=12):
+    net = Network(seed=seed)
+    routers = build_line(net, 3, rate_bps=rate)
+    tx = attach_host(net, routers[0], "10.77.0.1", name="tx", rate_bps=100e6)
+    rx = attach_host(net, routers[2], "10.77.0.2", name="rx", rate_bps=100e6)
+    converge(net)
+    return net, tx, rx, routers
+
+
+class TestElasticSource:
+    def test_fills_the_pipe(self):
+        net, tx, rx, _ = bottleneck()
+        flow = ElasticSource(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
+        flow.start(0.0)
+        net.run(until=10.0)
+        assert flow.goodput_bps(10.0) > 0.8 * 5e6
+
+    def test_in_order_delivery_only(self):
+        net, tx, rx, _ = bottleneck()
+        flow = ElasticSource(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
+        flow.start(0.0)
+        net.run(until=5.0)
+        # Receiver counter only advances in order: delivered <= max seq sent.
+        assert flow.delivered_segments <= flow._next_seq
+
+    def test_backs_off_on_congestion(self):
+        """Two flows share fairly-ish: each gets a substantial share and
+        the sum does not exceed the bottleneck."""
+        net, tx, rx, _ = bottleneck()
+        f1 = ElasticSource(net.sim, tx, rx, "10.77.0.1", "10.77.0.2",
+                           flow="t1", dst_port=81)
+        f2 = ElasticSource(net.sim, tx, rx, "10.77.0.1", "10.77.0.2",
+                           flow="t2", dst_port=82)
+        f1.start(0.0)
+        f2.start(0.5)
+        net.run(until=15.0)
+        g1, g2 = f1.goodput_bps(15.0), f2.goodput_bps(15.0)
+        assert g1 + g2 < 5e6 * 1.01
+        assert min(g1, g2) > 0.15 * 5e6  # no starvation
+
+    def test_losses_trigger_backoff(self):
+        """A tiny buffer forces drops: the flow must register recovery
+        events and still make progress."""
+        net = Network(seed=13)
+        from repro.qos.queues import DropTailFifo
+        net.default_qdisc_factory = lambda n, i: DropTailFifo(capacity_packets=5)
+        routers = build_line(net, 3, rate_bps=2e6)
+        tx = attach_host(net, routers[0], "10.78.0.1", name="tx", rate_bps=100e6)
+        rx = attach_host(net, routers[2], "10.78.0.2", name="rx", rate_bps=100e6)
+        converge(net)
+        flow = ElasticSource(net.sim, tx, rx, "10.78.0.1", "10.78.0.2")
+        flow.start(0.0)
+        net.run(until=10.0)
+        assert flow.fast_retransmits + flow.timeouts > 0
+        assert flow.goodput_bps(10.0) > 0.5 * 2e6
+
+    def test_stop_halts(self):
+        net, tx, rx, _ = bottleneck()
+        flow = ElasticSource(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
+        flow.start(0.0)
+        net.run(until=1.0)
+        sent_at_stop = flow._next_seq
+        flow.stop()
+        net.run(until=3.0)
+        assert flow._next_seq == sent_at_stop
+
+    def test_rtt_estimator_converges(self):
+        net, tx, rx, _ = bottleneck(rate=50e6)  # uncongested
+        flow = ElasticSource(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
+        flow.start(0.0)
+        net.run(until=3.0)
+        # Path RTT ~ 2*(2 links * 1ms + host links) + serialization ≈ 5 ms.
+        assert flow._srtt is not None
+        assert 0.001 < flow._srtt < 0.05
+
+
+class TestProbeAgent:
+    def test_probe_tracks_ground_truth(self):
+        """Probe delay estimate matches a parallel real flow's delay."""
+        net, tx, rx, _ = bottleneck(rate=5e6)
+        real = CbrSource(net.sim, tx.send, "real", "10.77.0.1", "10.77.0.2",
+                         payload_bytes=200, rate_bps=1e6)
+        sink = FlowSink(net.sim).attach(rx)
+        probe = ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2",
+                           dscp=0, interval_s=0.05)
+        real.start(0.0, stop_at=5.0)
+        probe.start(0.0, stop_at=5.0)
+        net.run(until=6.0)
+        from repro.metrics import summarize_flow
+        truth = summarize_flow(real, sink, duration_s=5.0)
+        est = probe.stats(duration_s=5.0)
+        assert est.mean_delay_s == pytest.approx(truth.mean_delay_s, rel=0.5)
+
+    def test_probe_sla_check(self):
+        net, tx, rx, _ = bottleneck(rate=50e6)
+        probe = ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2", dscp=46)
+        probe.start(0.0, stop_at=3.0)
+        net.run(until=4.0)
+        verdict = probe.check(VOICE_SLA, duration_s=3.0)
+        assert verdict.conformant
+        assert probe.loss_ratio() == 0.0
+
+    def test_probe_flows_are_distinct(self):
+        net, tx, rx, _ = bottleneck()
+        p1 = ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
+        p2 = ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
+        assert p1.flow != p2.flow
+
+    def test_percentile_nan_when_empty(self):
+        net, tx, rx, _ = bottleneck()
+        probe = ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
+        assert np.isnan(probe.delay_percentile(95))
+
+
+class TestTimeSeries:
+    def test_binning(self):
+        ts = TimeSeries(bin_s=1.0, horizon_s=5.0)
+        ts.add(0.5, 10)
+        ts.add(0.9, 5)
+        ts.add(2.1, 7)
+        totals = ts.totals()
+        assert totals[0] == 15 and totals[2] == 7
+
+    def test_rate(self):
+        ts = TimeSeries(bin_s=0.5)
+        ts.add(0.1, 100)
+        assert ts.rate()[0] == 200.0
+
+    def test_grows_past_horizon(self):
+        ts = TimeSeries(bin_s=1.0, horizon_s=2.0)
+        ts.add(50.0, 1)
+        assert ts.totals()[50] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeSeries(bin_s=0)
+        ts = TimeSeries(bin_s=1.0)
+        with pytest.raises(ValueError):
+            ts.add(-1.0, 1)
+
+    def test_nonzero_span(self):
+        ts = TimeSeries(bin_s=1.0, horizon_s=10.0)
+        assert ts.nonzero_span() == (0.0, 0.0)
+        ts.add(2.5, 1)
+        ts.add(7.5, 1)
+        assert ts.nonzero_span() == (2.0, 7.0)
+
+    def test_link_series_records_transmissions(self):
+        net, tx, rx, routers = bottleneck(rate=5e6)
+        dl = net.link_between("r0", "r1")
+        series = attach_link_series(dl.if_ab, bin_s=0.5, horizon_s=5.0)
+        src = CbrSource(net.sim, tx.send, "f", "10.77.0.1", "10.77.0.2",
+                        payload_bytes=480, rate_bps=2e6)
+        src.start(0.0, stop_at=2.0)
+        net.run(until=3.0)
+        rates = series.rate()
+        # Bins during the transmission carry ~2 Mb/s; later bins are ~0.
+        assert rates[1] == pytest.approx(2e6, rel=0.15)
+        assert rates[-1] == 0.0
+
+    def test_flow_series_sees_failure_gap(self):
+        """The E11-style figure: goodput drops to zero during an outage."""
+        from repro.experiments.e11_resilience import run_variant
+        # Use the existing experiment path but tap a series via sink wrap.
+        net, tx, rx, routers = bottleneck(rate=5e6)
+        sink = FlowSink(net.sim).attach(rx)
+        series = attach_flow_series(sink, "f", bin_s=0.25, horizon_s=6.0)
+        src = CbrSource(net.sim, tx.send, "f", "10.77.0.1", "10.77.0.2",
+                        payload_bytes=480, rate_bps=1e6)
+        src.start(0.0, stop_at=5.0)
+        dl = net.link_between("r1", "r2")
+        net.sim.schedule(2.0, lambda: dl.set_up(False))
+        net.sim.schedule(3.0, lambda: dl.set_up(True))
+        net.run(until=6.0)
+        rates = series.rate()
+        # Bin at t=1s busy; bin at t=2.5s silent; bin at t=4s busy again.
+        assert rates[int(1.0 / 0.25)] > 0.5e6
+        assert rates[int(2.5 / 0.25)] == 0.0
+        assert rates[int(4.0 / 0.25)] > 0.5e6
+
+
+class TestWaxman:
+    def test_connected_and_seeded(self):
+        net = Network(seed=42)
+        routers = build_waxman(net, 15)
+        converge(net)
+        from repro.routing.spf import spf_paths
+        # Chain guarantee: every pair reachable.
+        path = spf_paths(net, "w0", "w14")
+        assert path[0] == "w0" and path[-1] == "w14"
+
+    def test_deterministic_given_seed(self):
+        def edges(seed):
+            net = Network(seed=seed)
+            build_waxman(net, 12)
+            return sorted((dl.a.name, dl.b.name) for dl in net.duplex_links)
+        assert edges(3) == edges(3)
+        assert edges(3) != edges(4)
+
+    def test_alpha_controls_density(self):
+        def n_links(alpha):
+            net = Network(seed=5)
+            build_waxman(net, 20, alpha=alpha)
+            return len(net.duplex_links)
+        assert n_links(0.9) > n_links(0.1)
+
+    def test_parameter_validation(self):
+        net = Network(seed=1)
+        with pytest.raises(ValueError):
+            build_waxman(net, 5, alpha=0.0)
+        with pytest.raises(ValueError):
+            build_waxman(net, 5, beta=-1.0)
+
+    def test_delay_scales_with_distance(self):
+        net = Network(seed=6)
+        build_waxman(net, 10, delay_per_unit_s=10e-3)
+        delays = [dl.delay_s for dl in net.duplex_links]
+        assert max(delays) > min(delays)  # geometry actually matters

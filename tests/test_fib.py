@@ -1,0 +1,170 @@
+"""Unit + property tests for the LPM trie FIB."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.address import IPv4Address, Prefix
+from repro.routing.fib import Fib, RouteEntry
+
+
+def entry(tag):
+    return RouteEntry(out_ifname=tag)
+
+
+class TestBasicLpm:
+    def test_empty_fib_returns_none(self):
+        assert Fib().lookup(IPv4Address.parse("10.0.0.1")) is None
+
+    def test_exact_prefix_match(self):
+        fib = Fib()
+        fib.install("10.1.0.0/16", entry("a"))
+        assert fib.lookup(IPv4Address.parse("10.1.2.3")).out_ifname == "a"
+        assert fib.lookup(IPv4Address.parse("10.2.0.0")) is None
+
+    def test_longest_prefix_wins(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("short"))
+        fib.install("10.1.0.0/16", entry("mid"))
+        fib.install("10.1.2.0/24", entry("long"))
+        assert fib.lookup(IPv4Address.parse("10.1.2.3")).out_ifname == "long"
+        assert fib.lookup(IPv4Address.parse("10.1.9.9")).out_ifname == "mid"
+        assert fib.lookup(IPv4Address.parse("10.9.9.9")).out_ifname == "short"
+
+    def test_default_route(self):
+        fib = Fib()
+        fib.install("0.0.0.0/0", entry("default"))
+        assert fib.lookup(IPv4Address.parse("200.1.2.3")).out_ifname == "default"
+        fib.install("10.0.0.0/8", entry("specific"))
+        assert fib.lookup(IPv4Address.parse("10.0.0.1")).out_ifname == "specific"
+
+    def test_host_route(self):
+        fib = Fib()
+        fib.install("10.0.0.5/32", entry("host"))
+        assert fib.lookup(IPv4Address.parse("10.0.0.5")).out_ifname == "host"
+        assert fib.lookup(IPv4Address.parse("10.0.0.4")) is None
+
+    def test_reinstall_replaces(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("old"))
+        fib.install("10.0.0.0/8", entry("new"))
+        assert fib.lookup(IPv4Address.parse("10.0.0.1")).out_ifname == "new"
+        assert len(fib) == 1
+
+    def test_int_lookup_accepted(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("a"))
+        assert fib.lookup(0x0A000001).out_ifname == "a"
+
+
+class TestWithdraw:
+    def test_withdraw_removes(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("a"))
+        assert fib.withdraw("10.0.0.0/8") is True
+        assert fib.lookup(IPv4Address.parse("10.0.0.1")) is None
+        assert len(fib) == 0
+
+    def test_withdraw_missing_false(self):
+        assert Fib().withdraw("10.0.0.0/8") is False
+
+    def test_withdraw_reveals_shorter(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("short"))
+        fib.install("10.1.0.0/16", entry("long"))
+        fib.withdraw("10.1.0.0/16")
+        assert fib.lookup(IPv4Address.parse("10.1.0.1")).out_ifname == "short"
+
+
+class TestLookupPrefix:
+    def test_returns_matching_prefix(self):
+        fib = Fib()
+        fib.install("10.1.0.0/16", entry("a"))
+        pfx, ent = fib.lookup_prefix(IPv4Address.parse("10.1.2.3"))
+        assert pfx == Prefix.parse("10.1.0.0/16")
+        assert ent.out_ifname == "a"
+
+    def test_none_when_no_match(self):
+        assert Fib().lookup_prefix(IPv4Address.parse("1.2.3.4")) is None
+
+    def test_default_route_prefix(self):
+        fib = Fib()
+        fib.install("0.0.0.0/0", entry("d"))
+        pfx, _ = fib.lookup_prefix(IPv4Address.parse("9.9.9.9"))
+        assert pfx == Prefix.parse("0.0.0.0/0")
+
+
+class TestAccounting:
+    def test_routes_iteration(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("a"))
+        fib.install("11.0.0.0/8", entry("b"))
+        routes = dict(fib.routes())
+        assert len(routes) == 2
+        assert Prefix.parse("10.0.0.0/8") in fib
+
+    def test_get(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("a"))
+        assert fib.get("10.0.0.0/8").out_ifname == "a"
+        assert fib.get("12.0.0.0/8") is None
+
+    def test_lookup_counter(self):
+        fib = Fib()
+        fib.install("10.0.0.0/8", entry("a"))
+        fib.lookup(IPv4Address.parse("10.0.0.1"))
+        fib.lookup(IPv4Address.parse("10.0.0.2"))
+        assert fib.lookups == 2
+
+
+# Brute-force oracle: linear scan over installed prefixes.
+def _oracle(routes, value):
+    best = None
+    best_len = -1
+    for pfx, ent in routes.items():
+        if pfx.contains(IPv4Address(value)) and pfx.length > best_len:
+            best, best_len = ent, pfx.length
+    return best
+
+
+@st.composite
+def route_tables(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    routes = {}
+    for i in range(n):
+        value = draw(st.integers(min_value=0, max_value=0xFFFFFFFF))
+        length = draw(st.integers(min_value=0, max_value=32))
+        routes[Prefix.of(IPv4Address(value), length)] = entry(f"if{i}")
+    return routes
+
+
+class TestAgainstOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(route_tables(), st.lists(st.integers(min_value=0, max_value=0xFFFFFFFF),
+                                    min_size=1, max_size=30))
+    def test_trie_matches_linear_scan(self, routes, queries):
+        fib = Fib()
+        for pfx, ent in routes.items():
+            fib.install(pfx, ent)
+        for value in queries:
+            got = fib.lookup(IPv4Address(value))
+            want = _oracle(routes, value)
+            if want is None:
+                assert got is None
+            else:
+                # Several prefixes may tie in length only if identical, so
+                # the entries must agree exactly.
+                assert got is not None
+                got_pfx, _ = fib.lookup_prefix(IPv4Address(value))
+                assert got_pfx.contains(IPv4Address(value))
+                assert got == want
+
+    @settings(max_examples=30, deadline=None)
+    @given(route_tables())
+    def test_every_installed_prefix_findable(self, routes):
+        fib = Fib()
+        for pfx, ent in routes.items():
+            fib.install(pfx, ent)
+        for pfx, ent in routes.items():
+            got_pfx, got_ent = fib.lookup_prefix(pfx.first)
+            # The match is at least as specific as the installed prefix.
+            assert got_pfx.length >= pfx.length

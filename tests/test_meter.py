@@ -1,0 +1,181 @@
+"""Unit + property tests for token buckets, srTCM, and conditioners."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.address import IPv4Address
+from repro.net.packet import IPHeader, Packet
+from repro.qos.dscp import DSCP
+from repro.qos.meter import (
+    Color,
+    SrTCM,
+    TokenBucket,
+    dscp_marker,
+    exp_from_dscp_marker,
+    policer,
+    srtcm_remarker,
+)
+
+
+def pkt(size=100, dscp=0):
+    return Packet(ip=IPHeader(IPv4Address(1), IPv4Address(2), dscp=dscp),
+                  payload_bytes=size - 20)
+
+
+class TestTokenBucket:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 100)
+        with pytest.raises(ValueError):
+            TokenBucket(100, 0)
+
+    def test_starts_full(self):
+        tb = TokenBucket(8e3, 1000)
+        assert tb.tokens(0.0) == 1000
+
+    def test_starts_empty_option(self):
+        tb = TokenBucket(8e3, 1000, start_full=False)
+        assert tb.tokens(0.0) == 0.0
+
+    def test_burst_then_exhaustion(self):
+        tb = TokenBucket(8e3, 1000)  # 1 kB/s fill
+        assert tb.conforms(600, 0.0)
+        assert tb.conforms(400, 0.0)
+        assert not tb.conforms(1, 0.0)
+
+    def test_refill_at_rate(self):
+        tb = TokenBucket(8e3, 1000)
+        tb.conforms(1000, 0.0)
+        # After 0.5 s at 1 kB/s: 500 bytes available.
+        assert not tb.conforms(501, 0.5)
+        assert tb.conforms(500, 0.5)
+
+    def test_never_exceeds_burst(self):
+        tb = TokenBucket(8e3, 1000)
+        assert tb.tokens(1000.0) == 1000
+
+    def test_time_until(self):
+        tb = TokenBucket(8e3, 1000)
+        tb.conforms(1000, 0.0)
+        assert tb.time_until(500, 0.0) == pytest.approx(0.5)
+        assert tb.time_until(0, 0.0) == 0.0
+
+    def test_clock_does_not_go_backwards(self):
+        tb = TokenBucket(8e3, 1000)
+        tb.conforms(500, 1.0)
+        before = tb.tokens(1.0)
+        assert tb.tokens(0.5) == before  # stale timestamp is a no-op
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.floats(min_value=0.001, max_value=10.0),
+                              st.integers(min_value=1, max_value=2000)),
+                    min_size=1, max_size=60))
+    def test_long_run_rate_never_exceeded(self, steps):
+        """Accepted bytes <= burst + rate*elapsed, for any arrival pattern."""
+        rate_bps, burst = 64e3, 2000
+        tb = TokenBucket(rate_bps, burst)
+        now = 0.0
+        accepted = 0
+        for gap, size in steps:
+            now += gap
+            if tb.conforms(size, now):
+                accepted += size
+        assert accepted <= burst + rate_bps / 8.0 * now + 1e-6
+
+
+class TestSrTCM:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SrTCM(0, 100, 100)
+        with pytest.raises(ValueError):
+            SrTCM(100, 0, 100)
+
+    def test_green_within_cbs(self):
+        m = SrTCM(8e3, 1000, 500)
+        assert m.color(800, 0.0) is Color.GREEN
+
+    def test_yellow_from_excess_bucket(self):
+        m = SrTCM(8e3, 1000, 500)
+        m.color(1000, 0.0)
+        assert m.color(400, 0.0) is Color.YELLOW
+
+    def test_red_when_both_empty(self):
+        m = SrTCM(8e3, 1000, 500)
+        m.color(1000, 0.0)
+        m.color(500, 0.0)
+        assert m.color(100, 0.0) is Color.RED
+
+    def test_refill_committed_before_excess(self):
+        m = SrTCM(8e3, 1000, 500)
+        m.color(1000, 0.0)
+        m.color(500, 0.0)
+        # 1 s at 1 kB/s refills committed fully; excess stays empty.
+        assert m.color(900, 1.0) is Color.GREEN
+        assert m.color(200, 1.0) is Color.RED
+
+    def test_excess_spillover(self):
+        m = SrTCM(8e3, 1000, 500)
+        m.color(1000, 0.0)
+        m.color(500, 0.0)
+        # 2 s refills 2000 B: 1000 to committed, 500 spill to excess (cap).
+        assert m.color(1000, 2.0) is Color.GREEN
+        assert m.color(500, 2.0) is Color.YELLOW
+
+
+class TestConditioners:
+    def test_policer_drops_excess(self):
+        tb = TokenBucket(8e3, 200)
+        cond = policer(tb)
+        assert cond(pkt(150), 0.0) is not None
+        assert cond(pkt(150), 0.0) is None
+
+    def test_policer_match_filter(self):
+        tb = TokenBucket(8e3, 100)
+        cond = policer(tb, match=lambda p: p.ip.dscp == 46)
+        big_be = pkt(1000, dscp=0)
+        assert cond(big_be, 0.0) is big_be  # unmatched passes unmetered
+        assert cond(pkt(90, dscp=46), 0.0) is not None
+        assert cond(pkt(90, dscp=46), 0.0) is None
+
+    def test_dscp_marker_sets(self):
+        cond = dscp_marker(int(DSCP.EF))
+        p = cond(pkt(dscp=0), 0.0)
+        assert p.ip.dscp == int(DSCP.EF)
+
+    def test_dscp_marker_match(self):
+        cond = dscp_marker(int(DSCP.EF), match=lambda p: p.ip.dst_port == 5004)
+        p = pkt()
+        p.ip.dst_port = 80
+        assert cond(p, 0.0).ip.dscp == 0
+
+    def test_srtcm_remarker_demotes(self):
+        m = SrTCM(8e3, 200, 200)
+        cond = srtcm_remarker(m, green_dscp=int(DSCP.AF11), yellow_dscp=int(DSCP.AF12))
+        assert cond(pkt(150), 0.0).ip.dscp == int(DSCP.AF11)
+        assert cond(pkt(150), 0.0).ip.dscp == int(DSCP.AF12)
+        assert cond(pkt(150), 0.0) is None  # red drops by default
+
+    def test_srtcm_remarker_red_remark(self):
+        m = SrTCM(8e3, 200, 0)
+        cond = srtcm_remarker(
+            m, green_dscp=int(DSCP.AF11), yellow_dscp=int(DSCP.AF12),
+            red_action="remark", red_dscp=int(DSCP.AF13),
+        )
+        cond(pkt(200), 0.0)
+        assert cond(pkt(150), 0.0).ip.dscp == int(DSCP.AF13)
+
+    def test_srtcm_remarker_validation(self):
+        m = SrTCM(8e3, 200, 0)
+        with pytest.raises(ValueError):
+            srtcm_remarker(m, 1, 2, red_action="bogus")
+        with pytest.raises(ValueError):
+            srtcm_remarker(m, 1, 2, red_action="remark")
+
+    def test_exp_from_dscp_marker(self):
+        cond = exp_from_dscp_marker()
+        p = pkt(dscp=int(DSCP.EF))
+        p.push_label(100)
+        assert cond(p, 0.0).top_label.exp == 5
+        # No-op on unlabeled packets.
+        q = pkt(dscp=int(DSCP.EF))
+        assert cond(q, 0.0) is q

@@ -1,0 +1,264 @@
+"""Unit + property tests for the queue disciplines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.address import IPv4Address
+from repro.net.packet import IPHeader, Packet
+from repro.qos.queues import (
+    ClassQueue,
+    DeficitRoundRobin,
+    DropTailFifo,
+    FairQueueing,
+    PriorityScheduler,
+    WeightedRoundRobin,
+)
+
+
+def pkt(size=100, cls=0):
+    # The flow field doubles as the class tag in these tests.
+    return Packet(ip=IPHeader(IPv4Address(1), IPv4Address(2)),
+                  payload_bytes=max(0, size - 20), flow=cls)
+
+
+def by_tag(p):
+    return p.flow
+
+
+def queues(n=3, cap=1000):
+    return [ClassQueue(f"c{i}", capacity_packets=cap) for i in range(n)]
+
+
+class TestDropTailFifo:
+    def test_fifo_order(self):
+        q = DropTailFifo()
+        a, b = pkt(), pkt()
+        assert q.enqueue(a, 0.0) and q.enqueue(b, 0.0)
+        assert q.dequeue(0.0) is a
+        assert q.dequeue(0.0) is b
+        assert q.dequeue(0.0) is None
+
+    def test_packet_capacity(self):
+        q = DropTailFifo(capacity_packets=2)
+        assert q.enqueue(pkt(), 0.0)
+        assert q.enqueue(pkt(), 0.0)
+        assert not q.enqueue(pkt(), 0.0)
+        assert q.stats.dropped == 1
+        assert len(q) == 2
+
+    def test_byte_capacity(self):
+        q = DropTailFifo(capacity_packets=None, capacity_bytes=250)
+        assert q.enqueue(pkt(100), 0.0)
+        assert q.enqueue(pkt(100), 0.0)
+        assert not q.enqueue(pkt(100), 0.0)  # 300 > 250
+        assert q.backlog_bytes == 200
+
+    def test_backlog_accounting(self):
+        q = DropTailFifo()
+        q.enqueue(pkt(100), 0.0)
+        q.enqueue(pkt(60), 0.0)
+        assert q.backlog_bytes == 160
+        q.dequeue(0.0)
+        assert q.backlog_bytes == 60
+
+    def test_stats(self):
+        q = DropTailFifo()
+        q.enqueue(pkt(100), 0.0)
+        q.dequeue(0.0)
+        assert q.stats.enqueued == 1
+        assert q.stats.dequeued == 1
+        assert q.stats.bytes_sent == 100
+
+    def test_next_eligible_default_now(self):
+        q = DropTailFifo()
+        assert q.next_eligible(3.0) == 3.0
+
+    def test_unbounded(self):
+        q = DropTailFifo(capacity_packets=None, capacity_bytes=None)
+        for _ in range(1000):
+            assert q.enqueue(pkt(), 0.0)
+
+
+class TestPriority:
+    def test_higher_class_served_first(self):
+        q = PriorityScheduler(queues(), by_tag)
+        low, high = pkt(cls=2), pkt(cls=0)
+        q.enqueue(low, 0.0)
+        q.enqueue(high, 0.0)
+        assert q.dequeue(0.0) is high
+        assert q.dequeue(0.0) is low
+
+    def test_starvation_is_real(self):
+        """Strict priority never serves class 1 while class 0 backlogged."""
+        q = PriorityScheduler(queues(), by_tag)
+        for _ in range(5):
+            q.enqueue(pkt(cls=0), 0.0)
+        q.enqueue(pkt(cls=1), 0.0)
+        served = [q.dequeue(0.0).flow for _ in range(6)]
+        assert served == [0, 0, 0, 0, 0, 1]
+
+    def test_unknown_class_goes_best_effort(self):
+        q = PriorityScheduler(queues(), lambda p: 99)
+        p = pkt()
+        q.enqueue(p, 0.0)
+        assert q.classes[-1].q[0] is p
+
+    def test_empty_dequeue(self):
+        assert PriorityScheduler(queues(), by_tag).dequeue(0.0) is None
+
+    def test_requires_classes(self):
+        with pytest.raises(ValueError):
+            PriorityScheduler([], by_tag)
+
+
+class TestWrr:
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            WeightedRoundRobin(queues(), by_tag, [1, 2])
+        with pytest.raises(ValueError):
+            WeightedRoundRobin(queues(), by_tag, [1, 0, 2])
+
+    def test_service_ratio_matches_weights(self):
+        q = WeightedRoundRobin(queues(2), by_tag, [3, 1])
+        for _ in range(400):
+            q.enqueue(pkt(cls=0), 0.0)
+            q.enqueue(pkt(cls=1), 0.0)
+        served = [q.dequeue(0.0).flow for _ in range(400)]
+        counts = [served.count(0), served.count(1)]
+        assert counts[0] / counts[1] == pytest.approx(3.0, rel=0.1)
+
+    def test_work_conserving(self):
+        q = WeightedRoundRobin(queues(2), by_tag, [3, 1])
+        q.enqueue(pkt(cls=1), 0.0)
+        assert q.dequeue(0.0) is not None
+
+
+class TestDrr:
+    def test_quantum_validation(self):
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(queues(), by_tag, [100, 100])
+        with pytest.raises(ValueError):
+            DeficitRoundRobin(queues(), by_tag, [100, -1, 100])
+
+    def test_byte_fair_despite_packet_sizes(self):
+        """Class 0 sends 1500B packets, class 1 sends 100B; equal quanta
+        must give ~equal *bytes*, i.e. many more small packets."""
+        q = DeficitRoundRobin(queues(2, cap=10000), by_tag, [1500, 1500])
+        for _ in range(200):
+            q.enqueue(pkt(1500, cls=0), 0.0)
+        for _ in range(3000):
+            q.enqueue(pkt(100, cls=1), 0.0)
+        sent = {0: 0, 1: 0}
+        for _ in range(1000):
+            p = q.dequeue(0.0)
+            if p is None:
+                break
+            sent[p.flow] += p.wire_bytes
+        assert sent[1] / sent[0] == pytest.approx(1.0, rel=0.2)
+
+    def test_quantum_ratio_respected(self):
+        q = DeficitRoundRobin(queues(2, cap=10000), by_tag, [3000, 1000])
+        for _ in range(2000):
+            q.enqueue(pkt(500, cls=0), 0.0)
+            q.enqueue(pkt(500, cls=1), 0.0)
+        bytes_sent = {0: 0, 1: 0}
+        for _ in range(1200):
+            p = q.dequeue(0.0)
+            bytes_sent[p.flow] += p.wire_bytes
+        assert bytes_sent[0] / bytes_sent[1] == pytest.approx(3.0, rel=0.15)
+
+    def test_single_class_makes_progress_with_small_quantum(self):
+        """A head packet bigger than one quantum must still be sent."""
+        q = DeficitRoundRobin(queues(1, cap=10), by_tag, [100])
+        big = pkt(1500, cls=0)
+        q.enqueue(big, 0.0)
+        assert q.dequeue(0.0) is big
+
+    def test_work_conserving(self):
+        q = DeficitRoundRobin(queues(2), by_tag, [1000, 1000])
+        q.enqueue(pkt(cls=1), 0.0)
+        assert q.dequeue(0.0) is not None
+        assert q.dequeue(0.0) is None
+
+    def test_drained_class_resets_deficit(self):
+        q = DeficitRoundRobin(queues(2), by_tag, [5000, 5000])
+        q.enqueue(pkt(100, cls=0), 0.0)
+        q.dequeue(0.0)
+        assert q.deficits[0] == 0
+
+
+class TestFairQueueing:
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            FairQueueing(queues(), by_tag, [1.0])
+        with pytest.raises(ValueError):
+            FairQueueing(queues(), by_tag, [1.0, -2.0, 1.0])
+
+    def test_weighted_byte_share(self):
+        q = FairQueueing(queues(2, cap=10000), by_tag, [4.0, 1.0])
+        for _ in range(2000):
+            q.enqueue(pkt(500, cls=0), 0.0)
+            q.enqueue(pkt(500, cls=1), 0.0)
+        bytes_sent = {0: 0, 1: 0}
+        for _ in range(1000):
+            p = q.dequeue(0.0)
+            bytes_sent[p.flow] += p.wire_bytes
+        assert bytes_sent[0] / bytes_sent[1] == pytest.approx(4.0, rel=0.1)
+
+    def test_light_flow_low_delay(self):
+        """A light class's packet overtakes a deep heavy backlog."""
+        q = FairQueueing(queues(2, cap=10000), by_tag, [1.0, 1.0])
+        for _ in range(50):
+            q.enqueue(pkt(1500, cls=0), 0.0)
+        light = pkt(100, cls=1)
+        q.enqueue(light, 0.0)
+        # The light packet's finish tag beats most of the heavy backlog:
+        # it must come out within the first few dequeues.
+        first = [q.dequeue(0.0) for _ in range(3)]
+        assert light in first
+
+    def test_virtual_clock_resets_when_idle(self):
+        q = FairQueueing(queues(1), by_tag, [1.0])
+        q.enqueue(pkt(100, cls=0), 0.0)
+        q.dequeue(0.0)
+        assert q.dequeue(0.0) is None
+        assert q._virtual == 0.0
+
+    def test_fifo_within_class(self):
+        q = FairQueueing(queues(1), by_tag, [1.0])
+        a, b = pkt(100, cls=0), pkt(100, cls=0)
+        q.enqueue(a, 0.0)
+        q.enqueue(b, 0.0)
+        assert q.dequeue(0.0) is a
+        assert q.dequeue(0.0) is b
+
+
+class TestConservation:
+    """Property: across all disciplines, enqueued == dequeued + dropped + queued."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(40, 1500)),
+                    min_size=1, max_size=200),
+           st.sampled_from(["prio", "wrr", "drr", "wfq"]))
+    def test_no_packet_lost_or_duplicated(self, arrivals, kind):
+        qs = queues(3, cap=20)
+        if kind == "prio":
+            disc = PriorityScheduler(qs, by_tag)
+        elif kind == "wrr":
+            disc = WeightedRoundRobin(qs, by_tag, [4, 2, 1])
+        elif kind == "drr":
+            disc = DeficitRoundRobin(qs, by_tag, [6000, 3000, 1500])
+        else:
+            disc = FairQueueing(qs, by_tag, [4.0, 2.0, 1.0])
+        accepted = sum(
+            1 for cls, size in arrivals if disc.enqueue(pkt(size, cls=cls), 0.0)
+        )
+        out = []
+        while True:
+            p = disc.dequeue(0.0)
+            if p is None:
+                break
+            out.append(p)
+        assert len(out) == accepted
+        assert len(disc) == 0
+        assert len(set(p.uid for p in out)) == len(out)  # no duplicates

@@ -1,0 +1,128 @@
+"""Tests for named RNG streams and the trace bus / counters."""
+
+import numpy as np
+
+from repro.sim.randomness import RandomStreams
+from repro.sim.trace import Counter, TraceBus
+
+
+class TestRandomStreams:
+    def test_same_name_same_generator_object(self):
+        rs = RandomStreams(1)
+        assert rs.stream("a") is rs.stream("a")
+
+    def test_same_seed_same_sequence(self):
+        a = RandomStreams(42).stream("traffic.voice").random(10)
+        b = RandomStreams(42).stream("traffic.voice").random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_independent(self):
+        rs = RandomStreams(42)
+        a = rs.stream("x").random(10)
+        b = rs.stream("y").random(10)
+        assert not np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(10)
+        b = RandomStreams(2).stream("x").random(10)
+        assert not np.allclose(a, b)
+
+    def test_new_stream_does_not_perturb_existing(self):
+        """Adding a stream must not change another stream's draws."""
+        rs1 = RandomStreams(7)
+        g = rs1.stream("keep")
+        first = g.random()
+        rs2 = RandomStreams(7)
+        rs2.stream("other")  # extra stream created first
+        g2 = rs2.stream("keep")
+        assert g2.random() == first
+
+    def test_bookkeeping(self):
+        rs = RandomStreams(0)
+        rs.stream("a"); rs.stream("b")
+        assert len(rs) == 2
+        assert "a" in rs and "c" not in rs
+        assert rs.names() == ["a", "b"]
+        assert rs.seed == 0
+
+
+class TestTraceBus:
+    def test_publish_without_subscribers_is_noop(self):
+        bus = TraceBus()
+        bus.publish("drop", 1.0, node="x")  # must not raise
+        assert not bus.active("drop")
+
+    def test_subscribe_receives_records(self):
+        bus = TraceBus()
+        got = []
+        bus.subscribe("drop", got.append)
+        bus.publish("drop", 2.5, node="r1", reason="ttl")
+        assert len(got) == 1
+        rec = got[0]
+        assert rec.kind == "drop" and rec.time == 2.5
+        assert rec.node == "r1" and rec.reason == "ttl"
+
+    def test_attr_error_for_missing_field(self):
+        bus = TraceBus()
+        got = []
+        bus.subscribe("k", got.append)
+        bus.publish("k", 0.0)
+        try:
+            got[0].nope
+            assert False, "expected AttributeError"
+        except AttributeError:
+            pass
+
+    def test_record_retains(self):
+        bus = TraceBus()
+        bus.record("lsp")
+        bus.publish("lsp", 1.0, name="t1")
+        bus.publish("lsp", 2.0, name="t2")
+        assert [r.name for r in bus.records("lsp")] == ["t1", "t2"]
+
+    def test_records_empty_when_not_recording(self):
+        assert TraceBus().records("x") == []
+
+    def test_record_idempotent(self):
+        bus = TraceBus()
+        bus.record("k")
+        bus.record("k")
+        bus.publish("k", 0.0)
+        assert len(bus.records("k")) == 1
+
+    def test_multiple_subscribers(self):
+        bus = TraceBus()
+        a, b = [], []
+        bus.subscribe("k", a.append)
+        bus.subscribe("k", b.append)
+        bus.publish("k", 0.0)
+        assert len(a) == 1 and len(b) == 1
+
+
+class TestCounter:
+    def test_incr_and_get(self):
+        c = Counter()
+        c.incr("x")
+        c.incr("x", 4)
+        assert c["x"] == 5
+        assert c["missing"] == 0
+
+    def test_total_prefix(self):
+        c = Counter()
+        c.incr("bgp.updates", 3)
+        c.incr("bgp.sessions", 2)
+        c.incr("ldp.msgs", 7)
+        assert c.total("bgp.") == 5
+        assert c.total() == 12
+
+    def test_iteration_sorted(self):
+        c = Counter()
+        c.incr("b"); c.incr("a")
+        assert [k for k, _ in c] == ["a", "b"]
+
+    def test_snapshot_is_copy(self):
+        c = Counter()
+        c.incr("x")
+        snap = c.snapshot()
+        c.incr("x")
+        assert snap == {"x": 1}

@@ -1,0 +1,263 @@
+"""Tests for the Network container, topology builders, and SPF convergence."""
+
+import pytest
+
+from repro.net.address import IPv4Address, Prefix
+from repro.net.packet import IPHeader, Packet
+from repro.routing.router import Router
+from repro.routing.spf import advertised_prefixes, converge, spf_paths
+from repro.topology import (
+    Network,
+    attach_host,
+    build_backbone,
+    build_fish,
+    build_full_mesh,
+    build_line,
+    build_star,
+)
+
+
+class TestNetworkWiring:
+    def test_duplicate_node_rejected(self):
+        net = Network()
+        net.add_router("r1")
+        with pytest.raises(ValueError):
+            net.add_router("r1")
+
+    def test_loopback_autoassigned_unique(self):
+        net = Network()
+        a, b = net.add_router("a"), net.add_router("b")
+        assert a.loopback is not None and b.loopback is not None
+        assert a.loopback != b.loopback
+        assert Network.LOOPBACK_POOL.contains(a.loopback)
+
+    def test_connect_creates_interfaces_and_addresses(self):
+        net = Network()
+        a, b = net.add_router("a"), net.add_router("b")
+        dl = net.connect(a, b, 1e6, 0.001)
+        assert dl.if_ab.name == "to-b" and dl.if_ba.name == "to-a"
+        # Both ends addressed from one /30.
+        subnet = next(iter(a.connected_prefixes))
+        assert subnet.length == 30
+        assert subnet in b.connected_prefixes
+
+    def test_parallel_links_get_distinct_ifnames(self):
+        net = Network()
+        a, b = net.add_router("a"), net.add_router("b")
+        net.connect(a, b)
+        dl2 = net.connect(a, b)
+        assert dl2.if_ab.name == "to-b.2"
+
+    def test_connect_by_name(self):
+        net = Network()
+        net.add_router("a"); net.add_router("b")
+        dl = net.connect("a", "b")
+        assert dl.a.name == "a"
+
+    def test_link_between(self):
+        net = Network()
+        net.add_router("a"); net.add_router("b"); net.add_router("c")
+        net.connect("a", "b")
+        assert net.link_between("a", "b") is not None
+        assert net.link_between("b", "a") is not None
+        assert net.link_between("a", "c") is None
+
+    def test_graph_export(self):
+        net = Network()
+        build_line(net, 3)
+        g = net.graph()
+        assert g.number_of_nodes() == 3
+        assert g.number_of_edges() == 2
+        assert g["r0"]["r1"]["metric"] == 1.0
+
+    def test_set_up_down(self):
+        net = Network()
+        build_line(net, 2)
+        dl = net.link_between("r0", "r1")
+        dl.set_up(False)
+        assert not dl.link_ab.up and not dl.link_ba.up
+
+
+class TestBuilders:
+    def test_line(self):
+        net = Network()
+        routers = build_line(net, 5)
+        assert len(routers) == 5
+        assert len(net.duplex_links) == 4
+
+    def test_star(self):
+        net = Network()
+        hub, leaves = build_star(net, 6)
+        assert len(leaves) == 6
+        assert len(net.duplex_links) == 6
+        assert all(net.link_between("hub", leaf.name) for leaf in leaves)
+
+    def test_full_mesh(self):
+        net = Network()
+        routers = build_full_mesh(net, 5)
+        assert len(net.duplex_links) == 10  # 5*4/2
+
+    def test_fish_shape(self):
+        net = Network()
+        nodes = build_fish(net)
+        assert set(nodes) == set("ABCDEFGH")
+        assert len(net.duplex_links) == 8
+        # Top branch carries metric 2.
+        assert net.link_between("B", "C").metric == 2
+
+    def test_backbone_shape(self):
+        net = Network()
+        nodes = build_backbone(net)
+        assert len(nodes) == 12
+        assert len(net.duplex_links) == 22
+        # Core is a full mesh of P1..P4.
+        for i in range(1, 5):
+            for j in range(i + 1, 5):
+                assert net.link_between(f"P{i}", f"P{j}") is not None
+
+    def test_backbone_rates(self):
+        net = Network()
+        build_backbone(net, core_rate_bps=45e6, edge_rate_bps=10e6)
+        assert net.link_between("P1", "P2").rate_bps == 45e6
+        assert net.link_between("E1", "P1").rate_bps == 10e6
+
+
+class TestSpf:
+    def test_full_reachability_after_converge(self):
+        net = Network()
+        build_backbone(net)
+        converge(net)
+        routers = net.routers()
+        for src in routers:
+            for dst in routers:
+                if src is dst:
+                    continue
+                entry = src.fib.lookup(dst.loopback)
+                assert entry is not None, f"{src.name} cannot reach {dst.name}"
+
+    def test_shortest_path_respects_metric(self):
+        net = Network()
+        a, b, c = build_line(net, 3)
+        # Add a direct a-c link with a huge metric: must not be used.
+        net.connect(a, c, metric=10)
+        converge(net)
+        assert spf_paths(net, "r0", "r2") == ["r0", "r1", "r2"]
+
+    def test_direct_link_used_when_cheap(self):
+        net = Network()
+        a, b, c = build_line(net, 3)
+        net.connect(a, c, metric=1)
+        converge(net)
+        assert spf_paths(net, "r0", "r2") == ["r0", "r2"]
+
+    def test_deterministic_tiebreak(self):
+        """Equal-cost paths resolve to the lexicographically smallest."""
+        net = Network()
+        s = net.add_router("s"); t = net.add_router("t")
+        m1 = net.add_router("m1"); m2 = net.add_router("m2")
+        net.connect(s, m1); net.connect(m1, t)
+        net.connect(s, m2); net.connect(m2, t)
+        converge(net)
+        assert spf_paths(net, "s", "t") == ["s", "m1", "t"]
+
+    def test_customer_domain_excluded(self):
+        net = Network()
+        a, b = build_line(net, 2)
+        ce = net.add_router("ce")
+        ce.domain = "customer"
+        net.connect(ce, a)
+        converge(net)
+        # Core routers have no route to the CE's loopback.
+        assert b.fib.lookup(ce.loopback) is None
+        # And the CE got no SPF routes at all.
+        assert all(e.source != "spf" for _, e in ce.fib.routes())
+
+    def test_connected_routes_installed(self):
+        net = Network()
+        a, b = build_line(net, 2)
+        converge(net)
+        subnet = next(iter(a.connected_prefixes))
+        entry = a.fib.get(subnet)
+        assert entry is not None and entry.source == "connected"
+        assert entry.next_hop is None
+
+    def test_advertised_prefixes_reachable(self):
+        net = Network()
+        a, b, c = build_line(net, 3)
+        a.advertised_prefixes.add(Prefix.parse("10.42.0.0/24"))
+        converge(net)
+        entry = c.fib.lookup(IPv4Address.parse("10.42.0.7"))
+        assert entry is not None and entry.source == "spf"
+
+    def test_advertised_prefixes_helper(self):
+        net = Network()
+        a, b = build_line(net, 2)
+        a.advertised_prefixes.add(Prefix.parse("10.1.0.0/24"))
+        prefixes = advertised_prefixes(a)
+        assert Prefix.of(a.loopback, 32) in prefixes
+        assert Prefix.parse("10.1.0.0/24") in prefixes
+
+    def test_spf_paths_raises_when_partitioned(self):
+        import networkx as nx
+        net = Network()
+        net.add_router("a"); net.add_router("b")
+        with pytest.raises(nx.NetworkXNoPath):
+            spf_paths(net, "a", "b")
+
+
+class TestEndToEndIpForwarding:
+    def test_ping_across_backbone(self):
+        net = Network()
+        nodes = build_backbone(net)
+        h1 = attach_host(net, nodes["E1"], "10.10.0.1")
+        h2 = attach_host(net, nodes["E8"], "10.10.0.2")
+        converge(net)
+        got = []
+        h2.add_local_sink(got.append)
+        p = Packet(ip=IPHeader(IPv4Address.parse("10.10.0.1"),
+                               IPv4Address.parse("10.10.0.2")), payload_bytes=100)
+        net.sim.schedule(0.0, lambda: h1.send(p))
+        net.run(until=1.0)
+        assert len(got) == 1
+
+    def test_ttl_expiry_drops(self):
+        net = Network()
+        routers = build_line(net, 5)
+        h1 = attach_host(net, routers[0], "10.10.0.1")
+        h2 = attach_host(net, routers[4], "10.10.0.2")
+        converge(net)
+        got = []
+        h2.add_local_sink(got.append)
+        p = Packet(ip=IPHeader(IPv4Address.parse("10.10.0.1"),
+                               IPv4Address.parse("10.10.0.2"), ttl=2),
+                   payload_bytes=100)
+        net.sim.schedule(0.0, lambda: h1.send(p))
+        net.run(until=1.0)
+        assert got == []
+        assert sum(r.stats.dropped_ttl for r in routers) == 1
+
+    def test_no_route_drop(self):
+        net = Network()
+        routers = build_line(net, 2)
+        h1 = attach_host(net, routers[0], "10.10.0.1")
+        converge(net)
+        p = Packet(ip=IPHeader(IPv4Address.parse("10.10.0.1"),
+                               IPv4Address.parse("99.9.9.9")), payload_bytes=100)
+        net.sim.schedule(0.0, lambda: h1.send(p))
+        net.run(until=1.0)
+        assert routers[0].stats.dropped_no_route == 1
+
+    def test_utilization_report(self):
+        net = Network()
+        routers = build_line(net, 2, rate_bps=1e6)
+        h1 = attach_host(net, routers[0], "10.10.0.1")
+        h2 = attach_host(net, routers[1], "10.10.0.2")
+        converge(net)
+        from repro.traffic.generators import CbrSource
+        src = CbrSource(net.sim, h1.send, "f", "10.10.0.1", "10.10.0.2",
+                        rate_bps=0.5e6, payload_bytes=500)
+        src.start(0.0, stop_at=2.0)
+        net.run(until=2.0)
+        util = net.link_utilization(2.0)
+        assert util["r0->r1"] == pytest.approx(0.5, rel=0.1)
+        assert util["r1->r0"] == 0.0

@@ -1,0 +1,329 @@
+"""Tests for traffic generators, sinks, flow statistics, SLAs, and tables."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.sla import (
+    BEST_EFFORT_SLA,
+    DATA_SLA,
+    VOICE_SLA,
+    SlaSpec,
+    evaluate,
+)
+from repro.metrics.stats import FlowStats, rfc3550_jitter, summarize_flow
+from repro.metrics.table import render_table
+from repro.net.address import IPv4Address
+from repro.net.packet import IPHeader, Packet
+from repro.sim.engine import Simulator
+from repro.sim.randomness import RandomStreams
+from repro.traffic.generators import (
+    CbrSource,
+    OnOffSource,
+    ParetoOnOffSource,
+    PoissonSource,
+    voice_source,
+)
+from repro.traffic.sink import FlowSink
+
+
+class Collector:
+    """Captures packets a generator emits."""
+
+    def __init__(self):
+        self.packets = []
+
+    def __call__(self, pkt):
+        self.packets.append(pkt)
+
+
+class TestCbr:
+    def test_rate_is_exact(self):
+        sim = Simulator()
+        out = Collector()
+        src = CbrSource(sim, out, "f", "10.0.0.1", "10.0.0.2",
+                        payload_bytes=480, rate_bps=1e6)
+        src.start(0.0, stop_at=1.0)
+        sim.run(until=2.0)
+        sent_bits = sum(p.wire_bytes * 8 for p in out.packets)
+        assert sent_bits == pytest.approx(1e6, rel=0.01)
+
+    def test_sequence_numbers_monotone(self):
+        sim = Simulator()
+        out = Collector()
+        src = CbrSource(sim, out, "f", "10.0.0.1", "10.0.0.2", rate_bps=1e6)
+        src.start(0.0, stop_at=0.1)
+        sim.run(until=1.0)
+        assert [p.seq for p in out.packets] == list(range(len(out.packets)))
+
+    def test_headers_stamped(self):
+        sim = Simulator()
+        out = Collector()
+        src = CbrSource(sim, out, "f", "10.1.0.1", "10.2.0.2",
+                        dscp=46, proto="udp", src_port=9, dst_port=5004,
+                        rate_bps=1e6)
+        src.start(0.0, stop_at=0.05)
+        sim.run(until=1.0)
+        p = out.packets[0]
+        assert p.ip.dscp == 46 and p.ip.dst_port == 5004
+        assert str(p.ip.src) == "10.1.0.1"
+        assert p.flow == "f" and p.created == 0.0
+
+    def test_stop_at_respected(self):
+        sim = Simulator()
+        out = Collector()
+        src = CbrSource(sim, out, "f", "10.0.0.1", "10.0.0.2", rate_bps=1e6)
+        src.start(0.5, stop_at=1.0)
+        sim.run(until=5.0)
+        assert all(0.5 <= p.created < 1.0 for p in out.packets)
+
+    def test_manual_stop(self):
+        sim = Simulator()
+        out = Collector()
+        src = CbrSource(sim, out, "f", "10.0.0.1", "10.0.0.2", rate_bps=1e6)
+        src.start(0.0)
+        sim.schedule(0.1, src.stop)
+        sim.run(until=1.0)
+        assert all(p.created <= 0.1 for p in out.packets)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            CbrSource(Simulator(), lambda p: None, "f", "10.0.0.1", "10.0.0.2",
+                      rate_bps=0)
+
+    def test_voice_profile(self):
+        sim = Simulator()
+        out = Collector()
+        src = voice_source(sim, out, "v", "10.0.0.1", "10.0.0.2")
+        src.start(0.0, stop_at=1.0)
+        sim.run(until=2.0)
+        assert len(out.packets) == 50  # one per 20 ms
+        assert out.packets[0].payload_bytes == 160
+        assert out.packets[0].ip.dscp == 46
+
+
+class TestStochasticSources:
+    def test_poisson_mean_rate(self):
+        sim = Simulator()
+        out = Collector()
+        rng = RandomStreams(1).stream("t")
+        src = PoissonSource(sim, out, "f", "10.0.0.1", "10.0.0.2",
+                            payload_bytes=480, rate_bps=1e6, rng=rng)
+        src.start(0.0, stop_at=20.0)
+        sim.run(until=21.0)
+        bits = sum(p.wire_bytes * 8 for p in out.packets)
+        assert bits / 20.0 == pytest.approx(1e6, rel=0.1)
+
+    def test_poisson_deterministic_given_stream(self):
+        def run():
+            sim = Simulator()
+            out = Collector()
+            rng = RandomStreams(5).stream("p")
+            src = PoissonSource(sim, out, "f", "10.0.0.1", "10.0.0.2",
+                                rate_bps=1e6, rng=rng)
+            src.start(0.0, stop_at=2.0)
+            sim.run(until=3.0)
+            return [p.created for p in out.packets]
+        assert run() == run()
+
+    def test_onoff_mean_rate(self):
+        sim = Simulator()
+        out = Collector()
+        rng = RandomStreams(2).stream("oo")
+        src = OnOffSource(sim, out, "f", "10.0.0.1", "10.0.0.2",
+                          payload_bytes=480, peak_bps=2e6,
+                          mean_on_s=0.1, mean_off_s=0.1, rng=rng)
+        src.start(0.0, stop_at=40.0)
+        sim.run(until=41.0)
+        bits = sum(p.wire_bytes * 8 for p in out.packets)
+        assert src.offered_rate_bps == pytest.approx(1e6)
+        assert bits / 40.0 == pytest.approx(1e6, rel=0.25)
+
+    def test_onoff_is_bursty(self):
+        """Inter-packet gaps must be bimodal: peak-rate gaps and off gaps."""
+        sim = Simulator()
+        out = Collector()
+        rng = RandomStreams(3).stream("oo")
+        src = OnOffSource(sim, out, "f", "10.0.0.1", "10.0.0.2",
+                          payload_bytes=480, peak_bps=2e6,
+                          mean_on_s=0.05, mean_off_s=0.2, rng=rng)
+        src.start(0.0, stop_at=10.0)
+        sim.run(until=11.0)
+        gaps = np.diff([p.created for p in out.packets])
+        peak_gap = 500 * 8 / 2e6
+        assert (gaps < peak_gap * 1.01).sum() > 0
+        assert (gaps > peak_gap * 10).sum() > 0
+
+    def test_pareto_shape_validation(self):
+        with pytest.raises(ValueError):
+            ParetoOnOffSource(Simulator(), lambda p: None, "f",
+                              "10.0.0.1", "10.0.0.2", shape=1.0,
+                              rng=RandomStreams(0).stream("x"))
+
+    def test_pareto_emits(self):
+        sim = Simulator()
+        out = Collector()
+        rng = RandomStreams(4).stream("par")
+        src = ParetoOnOffSource(sim, out, "f", "10.0.0.1", "10.0.0.2",
+                                peak_bps=2e6, mean_on_s=0.05, mean_off_s=0.1,
+                                shape=1.5, rng=rng)
+        src.start(0.0, stop_at=5.0)
+        sim.run(until=6.0)
+        assert src.sent > 10
+        assert len(out.packets) == src.sent
+
+    def test_onoff_validation(self):
+        with pytest.raises(ValueError):
+            OnOffSource(Simulator(), lambda p: None, "f", "10.0.0.1", "10.0.0.2",
+                        peak_bps=0, rng=RandomStreams(0).stream("x"))
+
+
+class TestSinkAndStats:
+    def _run_flow(self, drop_every=None, jitter=False):
+        sim = Simulator()
+        sink = FlowSink(sim)
+        src_collector = []
+        src = CbrSource(sim, src_collector.append, "f", "10.0.0.1", "10.0.0.2",
+                        payload_bytes=480, rate_bps=1e6)
+        # Pipe generator output through a fake network with fixed delay.
+        def deliver(p, i=[0]):
+            i[0] += 1
+            if drop_every and i[0] % drop_every == 0:
+                return
+            delay = 0.01 + (0.002 if jitter and i[0] % 2 else 0.0)
+            sim.schedule(delay, lambda: sink.on_delivery(p))
+        src._send = deliver
+        src.start(0.0, stop_at=1.0)
+        sim.run(until=2.0)
+        return src, sink
+
+    def test_delay_measured(self):
+        src, sink = self._run_flow()
+        stats = summarize_flow(src, sink, duration_s=1.0)
+        assert stats.mean_delay_s == pytest.approx(0.01)
+        assert stats.p99_delay_s == pytest.approx(0.01)
+        assert stats.loss_ratio == 0.0
+
+    def test_loss_ratio(self):
+        src, sink = self._run_flow(drop_every=4)
+        stats = summarize_flow(src, sink, duration_s=1.0)
+        assert stats.loss_ratio == pytest.approx(0.25, abs=0.01)
+
+    def test_jitter_zero_for_constant_delay(self):
+        src, sink = self._run_flow()
+        stats = summarize_flow(src, sink, duration_s=1.0)
+        assert stats.jitter_rfc3550_s == pytest.approx(0.0, abs=1e-12)
+
+    def test_jitter_positive_for_varying_delay(self):
+        src, sink = self._run_flow(jitter=True)
+        stats = summarize_flow(src, sink, duration_s=1.0)
+        assert stats.jitter_rfc3550_s > 0.001
+
+    def test_throughput(self):
+        src, sink = self._run_flow()
+        stats = summarize_flow(src, sink, duration_s=1.0)
+        assert stats.throughput_bps == pytest.approx(1e6, rel=0.02)
+
+    def test_empty_flow_stats(self):
+        sim = Simulator()
+        sink = FlowSink(sim)
+        src = CbrSource(sim, lambda p: None, "f", "10.0.0.1", "10.0.0.2",
+                        rate_bps=1e6)
+        src.start(0.0, stop_at=0.1)
+        sim.run(until=1.0)
+        stats = summarize_flow(src, sink, duration_s=0.1)
+        assert stats.received == 0 and stats.loss_ratio == 1.0
+        assert np.isnan(stats.mean_delay_s)
+
+    def test_sink_unwraps_encapsulation(self):
+        sim = Simulator()
+        sink = FlowSink(sim)
+        inner = Packet(ip=IPHeader(IPv4Address(1), IPv4Address(2)),
+                       payload_bytes=10, flow="f", seq=0, created=0.0)
+        outer = Packet(ip=IPHeader(IPv4Address(3), IPv4Address(4)),
+                       inner=inner, encrypted=True, flow="f", created=0.0)
+        sim.schedule(0.25, lambda: sink.on_delivery(outer))
+        sim.run()
+        rec = sink.record("f")
+        assert rec.count == 1
+        assert rec.delays[0] == pytest.approx(0.25)
+
+    def test_rfc3550_formula(self):
+        send = np.array([0.0, 0.02, 0.04])
+        arrive = np.array([0.01, 0.031, 0.05])  # transit 10, 11, 10 ms
+        j = rfc3550_jitter(send, arrive)
+        # J1 = 0 + (1ms-0)/16 ; J2 = J1 + (1ms-J1)/16
+        j1 = 0.001 / 16
+        j2 = j1 + (0.001 - j1) / 16
+        assert j == pytest.approx(j2)
+
+    def test_rfc3550_short_series(self):
+        assert rfc3550_jitter(np.array([0.0]), np.array([0.01])) == 0.0
+
+
+class TestSla:
+    def _stats(self, **kw):
+        base = dict(flow="f", sent=100, received=100, mean_delay_s=0.01,
+                    p50_delay_s=0.01, p95_delay_s=0.02, p99_delay_s=0.03,
+                    max_delay_s=0.04, jitter_rfc3550_s=0.001, delay_std_s=0.002,
+                    loss_ratio=0.0, throughput_bps=1e6, duration_s=1.0)
+        base.update(kw)
+        return FlowStats(**base)
+
+    def test_conformant(self):
+        v = evaluate(VOICE_SLA, self._stats())
+        assert v.conformant and v.violations() == []
+
+    def test_delay_violation(self):
+        v = evaluate(VOICE_SLA, self._stats(p99_delay_s=0.2))
+        assert not v.conformant and not v.delay_ok
+        assert any("p99 delay" in s for s in v.violations())
+
+    def test_jitter_violation(self):
+        v = evaluate(VOICE_SLA, self._stats(jitter_rfc3550_s=0.05))
+        assert not v.jitter_ok
+
+    def test_loss_violation(self):
+        v = evaluate(VOICE_SLA, self._stats(loss_ratio=0.1))
+        assert not v.loss_ok
+
+    def test_throughput_bound(self):
+        spec = SlaSpec("t", min_throughput_bps=2e6)
+        v = evaluate(spec, self._stats(throughput_bps=1e6))
+        assert not v.throughput_ok
+
+    def test_best_effort_always_passes(self):
+        v = evaluate(BEST_EFFORT_SLA, self._stats(
+            p99_delay_s=9.0, loss_ratio=0.9, jitter_rfc3550_s=1.0))
+        assert v.conformant
+
+    def test_nan_fails_bounded_metric(self):
+        v = evaluate(VOICE_SLA, self._stats(p99_delay_s=float("nan")))
+        assert not v.delay_ok
+
+    def test_data_sla_ignores_jitter(self):
+        v = evaluate(DATA_SLA, self._stats(jitter_rfc3550_s=9.0))
+        assert v.jitter_ok
+
+
+class TestTable:
+    def test_render_basic(self):
+        text = render_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in lines[3]
+
+    def test_column_selection_and_order(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert text.splitlines()[0].startswith("b")
+
+    def test_title(self):
+        text = render_table([{"a": 1}], title="T1")
+        assert text.splitlines()[0] == "T1"
+
+    def test_missing_cells_blank(self):
+        text = render_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_float_formatting(self):
+        text = render_table([{"x": 0.123456, "y": float("nan"), "z": 123456.0}])
+        assert "0.123" in text and "nan" in text

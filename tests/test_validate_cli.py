@@ -1,0 +1,146 @@
+"""Tests for the validation sweep and the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.mpls import Lsr, run_ldp
+from repro.mpls.lfib import LabelOp, LfibEntry, Nhlfe
+from repro.net.link import Interface
+from repro.qos.queues import DropTailFifo
+from repro.routing import converge
+from repro.topology import Network, build_backbone
+from repro.validate import Issue, validate
+from repro.vpn import PeRouter, VpnProvisioner
+
+
+def provisioned_network():
+    net = Network(seed=5)
+
+    def factory(n, name):
+        cls = PeRouter if name.startswith("E") else Lsr
+        return n.add_node(cls(n.sim, name))
+
+    nodes = build_backbone(net, node_factory=factory)
+    prov = VpnProvisioner(net)
+    vpn = prov.create_vpn("v")
+    prov.add_site(vpn, nodes["E1"])
+    prov.add_site(vpn, nodes["E8"])
+    converge(net)
+    run_ldp(net)
+    prov.converge_bgp()
+    return net, nodes
+
+
+class TestValidate:
+    def test_clean_network_has_no_errors(self):
+        net, _ = provisioned_network()
+        errors = [i for i in validate(net) if i.severity == "error"]
+        assert errors == []
+
+    def test_unattached_interface_flagged(self):
+        net, nodes = provisioned_network()
+        lone = Interface(net.sim, nodes["P1"], "dangling", 1e6, DropTailFifo())
+        nodes["P1"].add_interface(lone)
+        issues = validate(net)
+        assert any("no attached link" in i.message for i in issues)
+
+    def test_duplicate_core_address_flagged(self):
+        net, nodes = provisioned_network()
+        nodes["P1"].add_address("172.16.0.1", "")
+        nodes["P2"].add_address("172.16.0.1", "")
+        issues = validate(net)
+        assert any("also on" in i.message for i in issues)
+
+    def test_lfib_to_missing_interface_flagged(self):
+        net, nodes = provisioned_network()
+        nodes["P1"].lfib.install(
+            9999, LfibEntry(LabelOp.SWAP, out_label=10, out_ifname="ghost")
+        )
+        issues = validate(net)
+        assert any("missing" in i.message and "9999" in i.message for i in issues)
+
+    def test_vpn_label_unknown_vrf_flagged(self):
+        net, nodes = provisioned_network()
+        nodes["E1"].lfib.install(9998, LfibEntry(LabelOp.VPN, vrf="ghost-vrf"))
+        issues = validate(net)
+        assert any("unknown VRF" in i.message for i in issues)
+
+    def test_ftn_to_missing_interface_flagged(self):
+        net, nodes = provisioned_network()
+        nodes["P1"].ftn.bind("9.9.9.0/24", Nhlfe("ghost", (17,)))
+        issues = validate(net)
+        assert any("FTN" in i.message for i in issues)
+
+    def test_empty_vrf_warns(self):
+        net, nodes = provisioned_network()
+        from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget
+        rt = RouteTarget(65000, 99)
+        nodes["E2"].add_vrf("empty", RouteDistinguisher(65000, 99), {rt}, {rt})
+        issues = validate(net)
+        warnings = [i for i in issues if i.severity == "warning"]
+        assert any("no circuits" in i.message for i in warnings)
+
+    def test_errors_sort_first(self):
+        net, nodes = provisioned_network()
+        from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget
+        rt = RouteTarget(65000, 99)
+        nodes["E2"].add_vrf("empty", RouteDistinguisher(65000, 99), {rt}, {rt})
+        nodes["P1"].ftn.bind("9.9.9.0/24", Nhlfe("ghost", (17,)))
+        issues = validate(net)
+        severities = [i.severity for i in issues]
+        assert severities == sorted(severities, key=lambda s: s != "error")
+
+    def test_issue_str(self):
+        i = Issue("error", "r1", "boom")
+        assert str(i) == "[error] r1: boom"
+
+
+class TestCli:
+    def test_every_experiment_registered(self):
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)}
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_e3(self, capsys):
+        assert main(["run", "e3"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "finished" in out
+
+    def test_run_e7_fast(self, capsys):
+        assert main(["run", "e7", "--measure", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "delivered_cross" in out
+
+    def test_run_e1_custom_sites(self, capsys):
+        assert main(["run", "e1", "--sites", "4", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "overlay_VCs" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "e99"])
+
+
+class TestValidateExperimentNetworks:
+    """Every experiment's provisioned network must pass the sweep clean —
+    the harness itself should never rely on misconfiguration."""
+
+    def test_e5_full_stage_clean(self):
+        from repro.experiments.e5_sla import _build
+        net = _build("full", seed=41)["net"]
+        assert [i for i in validate(net) if i.severity == "error"] == []
+
+    def test_e10_two_providers_clean(self):
+        from repro.experiments.e10_interas import build_two_providers
+        net = build_two_providers(seed=101, qos=False)["net"]
+        assert [i for i in validate(net) if i.severity == "error"] == []
+
+    def test_e7_overlap_scenario_clean(self):
+        from repro.experiments.e7_isolation import build_overlap_scenario
+        net = build_overlap_scenario(seed=61, extranet=True)["net"]
+        assert [i for i in validate(net) if i.severity == "error"] == []

@@ -1,0 +1,324 @@
+"""Tests for the VPN layer: RD/RT, VRF, PE, MP-BGP, provisioning."""
+
+import pytest
+
+from repro.mpls.ldp import run_ldp
+from repro.mpls.lfib import LabelOp
+from repro.mpls.lsr import Lsr
+from repro.net.address import IPv4Address, Prefix
+from repro.net.packet import IPHeader, Packet
+from repro.routing.spf import converge
+from repro.topology import Network, build_backbone
+from repro.vpn.bgp import MpBgp
+from repro.vpn.pe import PeRouter
+from repro.vpn.provision import VpnProvisioner
+from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget, VpnPrefix
+from repro.vpn.vrf import Vrf, VrfRoute
+
+
+class TestRdRt:
+    def test_rd_parse_str_roundtrip(self):
+        rd = RouteDistinguisher.parse("65000:42")
+        assert rd.asn == 65000 and rd.number == 42
+        assert str(rd) == "65000:42"
+
+    def test_rt_parse_both_forms(self):
+        assert RouteTarget.parse("target:65000:7") == RouteTarget(65000, 7)
+        assert RouteTarget.parse("65000:7") == RouteTarget(65000, 7)
+        assert str(RouteTarget(65000, 7)) == "target:65000:7"
+
+    def test_range_validation(self):
+        with pytest.raises(ValueError):
+            RouteDistinguisher(70000, 1)
+        with pytest.raises(ValueError):
+            RouteTarget(1, 1 << 32)
+
+    def test_vpn_prefix_disambiguates_overlap(self):
+        p = Prefix.parse("10.0.0.0/8")
+        a = VpnPrefix(RouteDistinguisher(65000, 1), p)
+        b = VpnPrefix(RouteDistinguisher(65000, 2), p)
+        assert a != b
+        assert len({a, b}) == 2
+
+
+def mk_vrf(name="v", rd_num=1, label=100):
+    rt = RouteTarget(65000, rd_num)
+    return Vrf(name, RouteDistinguisher(65000, rd_num), frozenset({rt}),
+               frozenset({rt}), label)
+
+
+class TestVrf:
+    def test_local_route_lookup(self):
+        vrf = mk_vrf()
+        vrf.add_local("10.1.0.0/24", "ge0")
+        r = vrf.lookup(IPv4Address.parse("10.1.0.5"))
+        assert r.kind == "local" and r.out_ifname == "ge0"
+
+    def test_remote_route_lookup(self):
+        vrf = mk_vrf()
+        vrf.add_remote("10.2.0.0/24", IPv4Address.parse("172.16.0.9"), 201)
+        r = vrf.lookup(IPv4Address.parse("10.2.0.5"))
+        assert r.kind == "remote" and r.vpn_label == 201
+
+    def test_lpm_within_vrf(self):
+        vrf = mk_vrf()
+        vrf.add_local("10.0.0.0/8", "short")
+        vrf.add_local("10.1.0.0/16", "long")
+        assert vrf.lookup(IPv4Address.parse("10.1.2.3")).out_ifname == "long"
+
+    def test_miss_returns_none(self):
+        assert mk_vrf().lookup(IPv4Address.parse("10.0.0.1")) is None
+
+    def test_withdraw(self):
+        vrf = mk_vrf()
+        vrf.add_local("10.1.0.0/24", "ge0")
+        assert vrf.withdraw("10.1.0.0/24")
+        assert vrf.lookup(IPv4Address.parse("10.1.0.5")) is None
+        assert not vrf.withdraw("10.1.0.0/24")
+
+    def test_route_validation(self):
+        with pytest.raises(ValueError):
+            VrfRoute("local")
+        with pytest.raises(ValueError):
+            VrfRoute("remote", remote_pe=IPv4Address(1))
+        with pytest.raises(ValueError):
+            VrfRoute("bogus", out_ifname="x")
+
+    def test_local_routes_filter(self):
+        vrf = mk_vrf()
+        vrf.add_local("10.1.0.0/24", "ge0")
+        vrf.add_remote("10.2.0.0/24", IPv4Address(9), 200)
+        assert len(vrf.local_routes()) == 1
+        assert len(vrf) == 2
+
+
+class TestPeRouter:
+    def _pe(self):
+        net = Network()
+        pe = net.add_node(PeRouter(net.sim, "pe"))
+        core = net.add_node(Lsr(net.sim, "p"))
+        ce = net.add_node(Lsr(net.sim, "ce"), loopback=False)
+        net.connect(pe, core)
+        net.connect(pe, ce)
+        return net, pe, core, ce
+
+    def test_add_vrf_installs_vpn_label(self):
+        net, pe, core, ce = self._pe()
+        rt = RouteTarget(65000, 1)
+        vrf = pe.add_vrf("v1", RouteDistinguisher(65000, 1), {rt}, {rt})
+        entry = pe.lfib.lookup(vrf.vpn_label)
+        assert entry.op is LabelOp.VPN and entry.vrf == "v1"
+
+    def test_duplicate_vrf_rejected(self):
+        net, pe, core, ce = self._pe()
+        rt = RouteTarget(65000, 1)
+        pe.add_vrf("v1", RouteDistinguisher(65000, 1), {rt}, {rt})
+        with pytest.raises(ValueError):
+            pe.add_vrf("v1", RouteDistinguisher(65000, 2), {rt}, {rt})
+
+    def test_bind_circuit_moves_subnet_out_of_igp(self):
+        net, pe, core, ce = self._pe()
+        rt = RouteTarget(65000, 1)
+        pe.add_vrf("v1", RouteDistinguisher(65000, 1), {rt}, {rt})
+        access_subnet = next(
+            s for s, ifn in pe.connected_prefixes.items() if ifn == "to-ce"
+        )
+        pe.bind_circuit("to-ce", "v1")
+        assert access_subnet not in pe.connected_prefixes
+        assert pe.vrfs["v1"].lookup(access_subnet.first) is not None
+        assert pe.vrf_of_circuit("to-ce") is pe.vrfs["v1"]
+
+    def test_bind_unknown_interface_rejected(self):
+        net, pe, core, ce = self._pe()
+        rt = RouteTarget(65000, 1)
+        pe.add_vrf("v1", RouteDistinguisher(65000, 1), {rt}, {rt})
+        with pytest.raises(ValueError):
+            pe.bind_circuit("nope", "v1")
+
+    def test_customer_packet_without_route_dropped(self):
+        net, pe, core, ce = self._pe()
+        rt = RouteTarget(65000, 1)
+        pe.add_vrf("v1", RouteDistinguisher(65000, 1), {rt}, {rt})
+        pe.bind_circuit("to-ce", "v1")
+        p = Packet(ip=IPHeader(IPv4Address.parse("10.1.0.1"),
+                               IPv4Address.parse("10.99.0.1")), payload_bytes=50)
+        pe.handle(p, "to-ce")
+        assert pe.stats.dropped_no_route == 1
+
+    def test_remote_route_without_tunnel_dropped(self):
+        net, pe, core, ce = self._pe()
+        rt = RouteTarget(65000, 1)
+        vrf = pe.add_vrf("v1", RouteDistinguisher(65000, 1), {rt}, {rt})
+        pe.bind_circuit("to-ce", "v1")
+        vrf.add_remote("10.2.0.0/24", IPv4Address.parse("172.16.0.99"), 300)
+        p = Packet(ip=IPHeader(IPv4Address.parse("10.1.0.1"),
+                               IPv4Address.parse("10.2.0.1")), payload_bytes=50)
+        pe.handle(p, "to-ce")
+        assert pe.stats.dropped_other == 1  # no_tunnel
+
+
+def two_pe_network(seed=5):
+    """pe1 - p - pe2 line with one VPN, two sites, converged."""
+    net = Network(seed=seed)
+    pe1 = net.add_node(PeRouter(net.sim, "pe1"))
+    p = net.add_node(Lsr(net.sim, "p"))
+    pe2 = net.add_node(PeRouter(net.sim, "pe2"))
+    net.connect(pe1, p); net.connect(p, pe2)
+    prov = VpnProvisioner(net)
+    vpn = prov.create_vpn("corp")
+    s1 = prov.add_site(vpn, pe1, prefix="10.1.0.0/24")
+    s2 = prov.add_site(vpn, pe2, prefix="10.2.0.0/24")
+    converge(net)
+    run_ldp(net)
+    return net, prov, vpn, s1, s2
+
+
+class TestMpBgp:
+    def test_full_mesh_counts(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        res = prov.converge_bgp()
+        assert res.sessions == 1
+        assert res.routes_exported == 4      # 2 per site (prefix + access /30)
+        assert res.updates_sent == 4         # each export to the 1 peer
+        assert res.routes_imported == 4
+
+    def test_rt_policy_gates_import(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        # Break import policy on pe2's VRF: no routes should arrive.
+        vrf2 = s2.pe.vrfs["corp"]
+        vrf2.import_rts = frozenset({RouteTarget(65000, 999)})
+        res = prov.converge_bgp()
+        assert all(r.kind == "local" for r in vrf2.routes().values())
+
+    def test_next_hop_is_pe_loopback(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        res = prov.converge_bgp()
+        route = s2.pe.vrfs["corp"].lookup(IPv4Address.parse("10.1.0.5"))
+        assert route.kind == "remote"
+        assert route.remote_pe == s1.pe.loopback
+
+    def test_vpn_label_matches_origin_vrf(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        prov.converge_bgp()
+        route = s2.pe.vrfs["corp"].lookup(IPv4Address.parse("10.1.0.5"))
+        assert route.vpn_label == s1.pe.vrfs["corp"].vpn_label
+
+    def test_route_reflector_sessions(self):
+        net = Network()
+        pes = [net.add_node(PeRouter(net.sim, f"pe{i}")) for i in range(4)]
+        for pe in pes:
+            pass  # no links needed for session counting
+        bgp_fm = MpBgp(net, pes)
+        assert bgp_fm.session_count() == 6
+        bgp_rr = MpBgp(net, pes, route_reflector="pe0")
+        assert bgp_rr.session_count() == 3
+
+    def test_rr_must_be_a_pe(self):
+        net = Network()
+        pes = [net.add_node(PeRouter(net.sim, f"pe{i}")) for i in range(2)]
+        with pytest.raises(ValueError):
+            MpBgp(net, pes, route_reflector="nope")
+
+    def test_empty_pes_rejected(self):
+        with pytest.raises(ValueError):
+            MpBgp(Network(), [])
+
+
+class TestProvisionerEndToEnd:
+    def test_vpn_data_path(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        prov.converge_bgp()
+        h1, h2 = s1.hosts[0], s2.hosts[0]
+        got = []
+        h2.add_local_sink(got.append)
+        p = Packet(ip=IPHeader(h1.loopback, h2.loopback), payload_bytes=100)
+        net.sim.schedule(0.0, lambda: h1.send(p))
+        net.run(until=1.0)
+        assert len(got) == 1
+
+    def test_label_stack_on_core_link(self):
+        """Capture the packet mid-core: two labels, VPN label innermost."""
+        net, prov, vpn, s1, s2 = two_pe_network()
+        prov.converge_bgp()
+        h1, h2 = s1.hosts[0], s2.hosts[0]
+        seen = []
+        p_node = net.node("p")
+        orig = p_node.handle
+        def spy(pk, ifn):
+            seen.append([e.label for e in pk.mpls_stack])
+            orig(pk, ifn)
+        p_node.handle = spy
+        net.sim.schedule(0.0, lambda: h1.send(
+            Packet(ip=IPHeader(h1.loopback, h2.loopback), payload_bytes=10)))
+        net.run(until=1.0)
+        assert seen and len(seen[0]) == 2
+        assert seen[0][0] == s2.pe.vrfs["corp"].vpn_label  # bottom of stack
+
+    def test_exp_mapping_from_customer_dscp(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        prov.converge_bgp()
+        h1, h2 = s1.hosts[0], s2.hosts[0]
+        seen = []
+        p_node = net.node("p")
+        orig = p_node.handle
+        def spy(pk, ifn):
+            seen.append([(e.label, e.exp) for e in pk.mpls_stack])
+            orig(pk, ifn)
+        p_node.handle = spy
+        net.sim.schedule(0.0, lambda: h1.send(
+            Packet(ip=IPHeader(h1.loopback, h2.loopback, dscp=46), payload_bytes=10)))
+        net.run(until=1.0)
+        assert all(exp == 5 for _lbl, exp in seen[0])
+
+    def test_same_pe_two_sites_local_switch(self):
+        """Two sites of one VPN on one PE talk without touching the core."""
+        net = Network()
+        pe = net.add_node(PeRouter(net.sim, "pe"))
+        p = net.add_node(Lsr(net.sim, "p"))
+        net.connect(pe, p)
+        prov = VpnProvisioner(net)
+        vpn = prov.create_vpn("corp")
+        s1 = prov.add_site(vpn, pe, prefix="10.1.0.0/24")
+        s2 = prov.add_site(vpn, pe, prefix="10.2.0.0/24")
+        converge(net)
+        run_ldp(net)
+        prov.converge_bgp()
+        h1, h2 = s1.hosts[0], s2.hosts[0]
+        got = []
+        h2.add_local_sink(got.append)
+        net.sim.schedule(0.0, lambda: h1.send(
+            Packet(ip=IPHeader(h1.loopback, h2.loopback), payload_bytes=10)))
+        net.run(until=1.0)
+        assert len(got) == 1
+        assert p.stats.rx_packets == 0  # never left the PE
+
+    def test_census(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        prov.converge_bgp()
+        census = prov.state_census()
+        assert census["sites"] == 2
+        assert census["pes"] == 2
+        assert census["vrfs"] == 2
+        assert census["bgp_sessions"] == 1
+
+    def test_site_prefix_autocarving(self):
+        net = Network()
+        pe = net.add_node(PeRouter(net.sim, "pe"))
+        prov = VpnProvisioner(net)
+        vpn = prov.create_vpn("corp")
+        a = prov.add_site(vpn, pe, num_hosts=0)
+        b = prov.add_site(vpn, pe, num_hosts=0)
+        assert a.prefix != b.prefix
+        assert vpn.supernet.contains_prefix(a.prefix)
+
+    def test_duplicate_vpn_rejected(self):
+        prov = VpnProvisioner(Network())
+        prov.create_vpn("x")
+        with pytest.raises(ValueError):
+            prov.create_vpn("x")
+
+    def test_ce_is_customer_domain(self):
+        net, prov, vpn, s1, s2 = two_pe_network()
+        assert s1.ce.domain == "customer"
+        # Core routers know nothing about customer prefixes.
+        assert net.node("p").fib.lookup(IPv4Address.parse("10.1.0.5")) is None
