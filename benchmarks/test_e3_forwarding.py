@@ -4,7 +4,6 @@ Micro-benchmarks the real data structures at provider-like table sizes.
 """
 
 import numpy as np
-import pytest
 
 from repro.experiments.e3_forwarding import (
     build_random_fib,

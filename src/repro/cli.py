@@ -4,15 +4,21 @@ Gives downstream users the whole experiment harness without writing code:
 
     python -m repro list
     python -m repro run e1 --sites 10 50 200
-    python -m repro run e2 --measure 8
+    python -m repro run e2 --measure 8 --telemetry out.json
     python -m repro run all --measure 4
+    python -m repro telemetry out.json
 
-Each experiment prints the same table its benchmark does.
+Each experiment prints the same table its benchmark does.  With
+``--telemetry PATH`` the run also records a full observability bundle —
+seed, git revision, per-node/interface/class metrics, kernel profile, and
+flow-accounting tables for every network the experiment built — as one
+JSON document; ``repro telemetry PATH`` pretty-prints it later.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Any, Callable, Sequence
@@ -150,6 +156,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="measurement window in simulated seconds (default 6)")
     run.add_argument("--sites", type=int, nargs="+", default=[10, 50, 100, 200],
                      help="site counts for e1")
+    run.add_argument("--telemetry", metavar="PATH", default=None,
+                     help="record a telemetry bundle (metrics, kernel "
+                          "profile, flow accounting) to this JSON file")
+
+    tel = sub.add_parser("telemetry", help="pretty-print a telemetry bundle")
+    tel.add_argument("path", help="bundle written by 'run --telemetry'")
+    tel.add_argument("--flows", action="store_true",
+                     help="also print the per-VRF/per-class flow tables")
     return parser
 
 
@@ -159,16 +173,112 @@ def main(argv: Sequence[str] | None = None) -> int:
         for name, (desc, _fn) in EXPERIMENTS.items():
             print(f"  {name:4s} {desc}")
         return 0
+    if args.command == "telemetry":
+        return _show_telemetry(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        desc, fn = EXPERIMENTS[name]
-        print(f"\n=== {name}: {desc} ===")
-        t0 = time.perf_counter()
-        rows = fn(args)
-        if rows:
-            print_table(rows)
-        print(f"[{name} finished in {time.perf_counter() - t0:.1f}s wall clock]")
+    recording = args.telemetry is not None
+    manifests: list[dict[str, Any]] = []
+    if recording:
+        from repro.obs import runtime
+
+        runtime.reset()
+        runtime.enable()
+    try:
+        for name in names:
+            desc, fn = EXPERIMENTS[name]
+            print(f"\n=== {name}: {desc} ===")
+            t0 = time.perf_counter()
+            n0 = len(runtime.sessions()) if recording else 0
+            rows = fn(args)
+            if recording:
+                # Every Network built by this experiment got its own
+                # telemetry session; snapshot them while still live.
+                for session in runtime.sessions()[n0:]:
+                    manifests.append(
+                        session.manifest(config={"experiment": name})
+                    )
+            if rows:
+                print_table(rows)
+            print(f"[{name} finished in {time.perf_counter() - t0:.1f}s wall clock]")
+    finally:
+        if recording:
+            runtime.reset()
+    if recording:
+        from repro.obs.telemetry import SCHEMA_ID
+
+        bundle = {
+            "schema": SCHEMA_ID,
+            "kind": "bundle",
+            "experiments": names,
+            "options": {"measure": args.measure, "sites": list(args.sites)},
+            "runs": manifests,
+        }
+        with open(args.telemetry, "w") as fh:
+            json.dump(bundle, fh, indent=2)
+            fh.write("\n")
+        print(f"[telemetry: {len(manifests)} run manifest(s) -> {args.telemetry}]")
+    return 0
+
+
+def _show_telemetry(args: argparse.Namespace) -> int:
+    """Pretty-print a bundle written by ``run --telemetry``."""
+    from repro.obs.schema import validate_manifest
+
+    try:
+        with open(args.path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"{args.path}: {exc.strerror or exc}")
+        return 1
+    except json.JSONDecodeError as exc:
+        print(f"{args.path}: not JSON ({exc})")
+        return 1
+    problems = validate_manifest(doc)
+    if problems:
+        print(f"{args.path}: not a valid telemetry document:")
+        for p in problems:
+            print(f"  - {p}")
+        return 1
+
+    runs = doc["runs"] if doc["kind"] == "bundle" else [doc]
+    if doc["kind"] == "bundle":
+        print(f"bundle: experiments={','.join(doc['experiments'])} "
+              f"options={doc['options']}")
+    overview = []
+    for i, run in enumerate(runs):
+        sim = run["sim"]
+        prof = run.get("profile") or {}
+        cfg = run.get("config") or {}
+        overview.append({
+            "run": i,
+            "experiment": cfg.get("experiment", "?"),
+            "seed": run.get("seed"),
+            "nodes": sim["nodes"],
+            "links": sim["links"],
+            "sim_s": round(sim["now_s"], 3),
+            "events": sim["events_processed"],
+            "ev/s": int(prof["events_per_sec"]) if prof.get("events_per_sec") else "-",
+            "flows": len(run["flows"]),
+            "hops_recorded": run["flight"]["recorded_total"],
+        })
+    print_table(overview, title="runs")
+
+    for i, run in enumerate(runs):
+        prof = run.get("profile")
+        if prof and prof["kinds"]:
+            rows = [
+                {
+                    "kind": k["kind"],
+                    "events": k["events"],
+                    "est_total_ms": round(k["est_total_s"] * 1e3, 2),
+                    "mean_us": round(k["mean_s"] * 1e6, 1) if k.get("mean_s") else "-",
+                }
+                for k in prof["kinds"][:8]
+            ]
+            print_table(rows, title=f"run {i}: hottest event kinds")
+        if args.flows and run["flows"]:
+            print_table(run["flows"], title=f"run {i}: flow accounting")
     return 0
 
 

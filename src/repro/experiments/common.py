@@ -108,6 +108,25 @@ class ExperimentRun:
     def stats_for(self, source: TrafficSource, sink: FlowSink) -> FlowStats:
         return summarize_flow(source, sink, duration_s=self.measure_s)
 
+    def manifest(self, config: dict[str, Any] | None = None) -> dict[str, Any] | None:
+        """Telemetry run manifest, or ``None`` when telemetry is off.
+
+        The harness's own timing plus source/sink counts are folded into
+        the manifest's ``config`` block alongside the caller's entries.
+        """
+        session = self.net.telemetry
+        if session is None:
+            return None
+        cfg: dict[str, Any] = {
+            "warmup_s": self.warmup_s,
+            "measure_s": self.measure_s,
+            "sources": len(self.sources),
+            "sinks": len(self.sinks),
+        }
+        if config:
+            cfg.update(config)
+        return session.manifest(config=cfg)
+
 
 def run_and_summarize(
     run: ExperimentRun,

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.experiments.common import ExperimentRun, make_qdisc_factory
+from repro.experiments.common import make_qdisc_factory
 from repro.metrics.probes import ProbeAgent
 from repro.qos.queues import DropTailFifo
 from repro.qos.red import RedParams, RedQueueManager

@@ -24,7 +24,7 @@ from repro.routing.spf import converge
 from repro.topology import Network
 from repro.traffic.generators import CbrSource
 from repro.vpn.pe import PeRouter
-from repro.vpn.profiles import BRONZE, GOLD, SILVER, QosProfile, apply_profile
+from repro.vpn.profiles import BRONZE, GOLD, SILVER, apply_profile
 from repro.vpn.provision import VpnProvisioner
 
 __all__ = ["build_tiered_network", "run_e13"]

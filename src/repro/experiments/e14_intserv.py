@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.experiments.common import ExperimentRun, make_qdisc_factory, three_class_queues
+from repro.experiments.common import ExperimentRun, three_class_queues
 from repro.qos.classifier import FlowMatch
 from repro.qos.dscp import DSCP
-from repro.qos.intserv import RSVP_REFRESH_S, IntServ, intserv_classifier
+from repro.qos.intserv import IntServ, intserv_classifier
 from repro.qos.queues import FairQueueing
 from repro.routing.spf import converge
 from repro.topology import Network, attach_host, build_line

@@ -21,7 +21,7 @@ label so it also survives encryption, which E4 shows).
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from repro.experiments.common import ExperimentRun, make_qdisc_factory
 from repro.mpls.ldp import run_ldp

@@ -25,7 +25,6 @@ from repro.experiments.common import ExperimentRun, make_qdisc_factory
 from repro.mpls.ldp import run_ldp
 from repro.mpls.lsr import Lsr
 from repro.net.packet import IPV4_HEADER_BYTES, MPLS_SHIM_BYTES
-from repro.qos.classifier import ba_classifier
 from repro.qos.dscp import DSCP
 from repro.qos.queues import DropTailFifo
 from repro.qos.red import RedParams, RedQueueManager, standard_wred
@@ -55,7 +54,6 @@ BOTTLENECK_BPS = 5e6
 def run_e9a_schedulers(
     seed: int = 91, measure_s: float = 6.0
 ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
-    from repro.experiments.e2_qos import run_config  # same mix, swap qdisc
 
     rows: list[dict[str, Any]] = []
     raw: dict[str, Any] = {}
@@ -308,7 +306,6 @@ def run_e9f_elsp_llsp(
     from repro.mpls.te import TrafficEngineering
     from repro.net.address import Prefix
     from repro.qos.classifier import llsp_classifier
-    from repro.qos.dscp import dscp_to_class
     from repro.qos.queues import FairQueueing
     from repro.experiments.common import three_class_queues
 

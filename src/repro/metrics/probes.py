@@ -12,8 +12,6 @@ to the ground truth measured on a parallel real flow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.metrics.sla import SlaSpec, SlaVerdict, evaluate
@@ -43,8 +41,6 @@ class ProbeAgent:
         do not perturb the service).
     """
 
-    _ids = 0
-
     def __init__(
         self,
         sim,
@@ -56,8 +52,9 @@ class ProbeAgent:
         interval_s: float = 0.020,
         payload_bytes: int = 64,
     ) -> None:
-        ProbeAgent._ids += 1
-        self.flow = f"__probe{ProbeAgent._ids}"
+        # Per-simulator ids: probe flow names must not depend on how many
+        # probes earlier simulations in the same process created.
+        self.flow = f"__probe{sim.next_id('probe')}"
         wire = payload_bytes + 20
         self.source = CbrSource(
             sim, src_node.send, self.flow, src_addr, dst_addr,

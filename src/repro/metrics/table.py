@@ -7,7 +7,7 @@ experiment's output is uniform and diffable.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 __all__ = ["render_table", "print_table"]
 

@@ -10,8 +10,6 @@ enabling the E11-style "goodput vs time across a failure" figure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
 from repro.net.link import Interface

@@ -19,12 +19,12 @@ every hop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.mpls.label import IMPLICIT_NULL
 from repro.mpls.lfib import LabelOp, LfibEntry
 from repro.mpls.lsr import Lsr
-from repro.mpls.te import AdmissionError, TeLsp, TrafficEngineering
+from repro.mpls.te import TeLsp, TrafficEngineering
 
 __all__ = ["Bypass", "FrrError", "FastReroute"]
 
@@ -161,6 +161,11 @@ class FastReroute:
             )
             bp.active = True
             repaired += 1
+        if repaired:
+            self.net.counters.incr("frr.repairs", repaired)
+            self.net.trace.publish(
+                "frr.repair", self.net.sim.now, link=(a, b), repaired=repaired
+            )
         return repaired
 
     def restore_link(self, a: str, b: str) -> int:
@@ -174,6 +179,11 @@ class FastReroute:
             plr_node.lfib.install(bp.in_label, bp.primary_entry)
             bp.active = False
             restored += 1
+        if restored:
+            self.net.counters.incr("frr.restores", restored)
+            self.net.trace.publish(
+                "frr.restore", self.net.sim.now, link=(a, b), restored=restored
+            )
         return restored
 
     @property

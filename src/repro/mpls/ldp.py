@@ -143,6 +143,15 @@ def run_ldp(
         )
         result.mapping_messages += msgs
         net.counters.incr("ldp.mapping_msgs", msgs)
+    net.trace.publish(
+        "ldp.converged",
+        net.sim.now,
+        sessions=result.sessions,
+        mapping_messages=result.mapping_messages,
+        lfib_entries=result.lfib_entries,
+        ftn_entries=result.ftn_entries,
+        fecs=len(result.bindings),
+    )
     return result
 
 

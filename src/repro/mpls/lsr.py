@@ -14,7 +14,8 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.mpls.label import IMPLICIT_NULL, LabelSpace
-from repro.mpls.lfib import FtnTable, LabelOp, Lfib, LfibEntry, Nhlfe
+from repro.mpls.lfib import FtnTable, LabelOp, Lfib, Nhlfe
+from repro.net.drops import DropReason
 from repro.net.packet import Packet
 from repro.routing.router import Router
 from repro.sim.engine import bind
@@ -61,23 +62,31 @@ class Lsr(Router):
     def _handle_mpls(self, pkt: Packet) -> None:
         top = pkt.top_label
         assert top is not None
+        fl = self.trace.flight
         entry = self.lfib.lookup(top.label)
         if entry is None:
-            self.drop(pkt, "no_label")
+            self.drop(pkt, DropReason.NO_LABEL)
             return
         if entry.op is LabelOp.SWAP:
             if pkt.decrement_ttl() <= 0:
-                self.drop(pkt, "ttl")
+                self.drop(pkt, DropReason.TTL)
                 return
+            if fl is not None:
+                fl.label_op(self.sim.now, self.name, pkt, "swap",
+                            old=top.label, new=entry.out_label)
             pkt.swap_label(entry.out_label)  # EXP is preserved across swaps
             self.transmit(pkt, entry.out_ifname)
         elif entry.op is LabelOp.POP:
             if pkt.decrement_ttl() <= 0:
-                self.drop(pkt, "ttl")
+                self.drop(pkt, DropReason.TTL)
                 return
+            if fl is not None:
+                fl.label_op(self.sim.now, self.name, pkt, "pop", old=top.label)
             pkt.pop_label()
             self.transmit(pkt, entry.out_ifname)
         elif entry.op is LabelOp.POP_PROCESS:
+            if fl is not None:
+                fl.label_op(self.sim.now, self.name, pkt, "pop", old=top.label)
             pkt.pop_label()
             if pkt.mpls_stack:
                 self._handle_mpls(pkt)  # inner label is also ours
@@ -90,31 +99,38 @@ class Lsr(Router):
             # then tunnel it over the bypass LSP.  EXP is copied onto the
             # bypass entry so the detour keeps the class.
             if pkt.decrement_ttl() <= 0:
-                self.drop(pkt, "ttl")
+                self.drop(pkt, DropReason.TTL)
                 return
             exp = pkt.top_label.exp if pkt.top_label else 0
+            if fl is not None:
+                fl.label_op(self.sim.now, self.name, pkt, "swap",
+                            old=top.label, new=entry.out_label)
+                fl.label_op(self.sim.now, self.name, pkt, "push",
+                            new=entry.push_label)
             pkt.swap_label(entry.out_label)
             pkt.push_label(entry.push_label, exp=exp)
             self.transmit(pkt, entry.out_ifname)
         elif entry.op is LabelOp.VPN:
+            if fl is not None:
+                fl.label_op(self.sim.now, self.name, pkt, "pop", old=top.label)
             pkt.pop_label()
             if self.vpn_deliver is None:
-                self.drop(pkt, "vpn_label_no_vrf")
+                self.drop(pkt, DropReason.VPN_LABEL_NO_VRF)
             else:
                 self.vpn_deliver(pkt, entry.vrf)  # type: ignore[arg-type]
         else:  # pragma: no cover - enum is closed
-            self.drop(pkt, "bad_lfib_op")
+            self.drop(pkt, DropReason.BAD_LFIB_OP)
 
     # ------------------------------------------------------------------
     # IP slow path with label imposition
     # ------------------------------------------------------------------
     def _forward_ip_or_impose(self, pkt: Packet) -> None:
         if pkt.decrement_ttl() <= 0:
-            self.drop(pkt, "ttl")
+            self.drop(pkt, DropReason.TTL)
             return
         match = self.fib.lookup_prefix(pkt.ip.dst)
         if match is None:
-            self.drop(pkt, "no_route")
+            self.drop(pkt, DropReason.NO_ROUTE)
             return
         prefix, route = match
         nhlfe = self.ftn.lookup(prefix)
@@ -137,8 +153,11 @@ class Lsr(Router):
             if self.impose_exp is not None
             else dscp_to_exp(pkt.ip.dscp)
         )
+        fl = self.trace.flight
         for label in nhlfe.labels:
             if label == IMPLICIT_NULL:
                 continue
+            if fl is not None:
+                fl.label_op(self.sim.now, self.name, pkt, "push", new=label)
             pkt.push_label(label, exp=exp)
         self.transmit(pkt, nhlfe.out_ifname)

@@ -225,6 +225,15 @@ class TrafficEngineering:
                     assert isinstance(node, Lsr)
                     node.label_class[label] = scheduling_class
         self.lsps[name] = lsp
+        self.net.trace.publish(
+            "te.lsp_up",
+            self.net.sim.now,
+            name=name,
+            path=tuple(path),
+            bandwidth_bps=bandwidth_bps,
+            php=php,
+            scheduling_class=scheduling_class,
+        )
         return lsp
 
     def setup(
@@ -261,6 +270,7 @@ class TrafficEngineering:
                     if nhlfe.lsp_id == lsp.name:
                         node.ftn.unbind(prefix)
         lsp.up = False
+        self.net.trace.publish("te.lsp_down", self.net.sim.now, name=name)
 
     # ------------------------------------------------------------------
     # Routing traffic onto tunnels

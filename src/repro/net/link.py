@@ -18,9 +18,10 @@ where the DiffServ traffic-conditioning block of claim C6 attaches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.net.drops import DropReason
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator, bind
 
@@ -111,7 +112,7 @@ class Interface:
         self.node = node
         self.name = name
         self.rate_bps = float(rate_bps)
-        self.qdisc = qdisc
+        self.qdisc = qdisc  # property setter: also wires the drop callback
         self.link: Link | None = None
         self.conditioners: list[Conditioner] = []
         self.stats = InterfaceStats()
@@ -134,6 +135,35 @@ class Interface:
         self.conditioners.append(fn)
 
     # ------------------------------------------------------------------
+    # Queue discipline: assignment (including post-construction swaps by
+    # experiments/tests) re-wires the drop callback so queue and AQM losses
+    # always reach the TraceBus/flight recorder with their taxonomy.
+    # Hot methods read ``_qdisc`` directly to skip the property descriptor.
+    @property
+    def qdisc(self) -> "QueueDiscipline":
+        return self._qdisc
+
+    @qdisc.setter
+    def qdisc(self, q: "QueueDiscipline") -> None:
+        self._qdisc = q
+        q.set_drop_callback(self._queue_drop)
+
+    def _queue_drop(self, pkt: Packet, reason: DropReason, now: float) -> None:
+        """Called by the queue discipline when it refuses a packet."""
+        trace = self.node.trace
+        fl = trace.flight
+        if fl is not None:
+            fl.drop(now, self.node.name, pkt, reason.value, ifname=self.name)
+        trace.publish(
+            "drop",
+            now,
+            node=self.node.name,
+            iface=self.name,
+            reason=reason.value,
+            pkt=pkt,
+        )
+
+    # ------------------------------------------------------------------
     def send(self, pkt: Packet) -> bool:
         """Run conditioners, enqueue, and kick the transmitter.
 
@@ -145,12 +175,16 @@ class Interface:
             out = fn(pkt, now)
             if out is None:
                 self.stats.conditioner_dropped += 1
+                self._queue_drop(pkt, DropReason.CONDITIONER, now)
                 return False
             pkt = out
-        if not self.qdisc.enqueue(pkt, now):
+        if not self._qdisc.enqueue(pkt, now):
             self.stats.dropped += 1
             return False
         self.stats.enqueued += 1
+        fl = self.node.trace.flight
+        if fl is not None:
+            fl.enqueue(now, self.node.name, pkt, self.name, len(self._qdisc))
         if not self._busy:
             self._transmit_next()
         return True
@@ -161,19 +195,22 @@ class Interface:
             self._retry_event.cancel()
             self._retry_event = None
         now = self.sim.now
-        pkt = self.qdisc.dequeue(now)
+        pkt = self._qdisc.dequeue(now)
         if pkt is None:
             self._busy = False
             # Non-work-conserving discipline with backlog: wake up when the
             # earliest regulated packet becomes eligible (e.g. CBQ class
             # waiting for its allocation bucket to refill).
-            if len(self.qdisc) > 0:
-                t = self.qdisc.next_eligible(now)
+            if len(self._qdisc) > 0:
+                t = self._qdisc.next_eligible(now)
                 if t != float("inf"):
                     self._retry_event = self.sim.schedule(
                         max(t - now, 1e-9), self._transmit_next
                     )
             return
+        fl = self.node.trace.flight
+        if fl is not None:
+            fl.dequeue(now, self.node.name, pkt, self.name, len(self._qdisc))
         self._busy = True
         tx_time = pkt.wire_bytes * 8.0 / self.rate_bps
         self.stats.busy_time += tx_time

@@ -14,12 +14,13 @@ forwarding-cost experiment (E3) turns them on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable
 
 from repro.net.address import IPv4Address, Prefix
-from repro.net.link import Interface, Link
+from repro.net.drops import DropReason
+from repro.net.link import Interface
 from repro.net.packet import Packet
-from repro.sim.engine import Simulator, bind
+from repro.sim.engine import Simulator
 from repro.sim.trace import TraceBus
 
 __all__ = ["Node", "Host", "ProcessingModel", "NodeStats"]
@@ -46,7 +47,12 @@ class ProcessingModel:
 
 @dataclass(slots=True)
 class NodeStats:
-    """Aggregate per-node counters."""
+    """Aggregate per-node counters.
+
+    The three ``dropped_*`` buckets are the legacy coarse view (kept for
+    the experiment harnesses); ``by_reason`` holds the full
+    :class:`~repro.net.drops.DropReason` breakdown keyed by reason string.
+    """
 
     rx_packets: int = 0
     forwarded: int = 0
@@ -54,6 +60,11 @@ class NodeStats:
     dropped_no_route: int = 0
     dropped_ttl: int = 0
     dropped_other: int = 0
+    by_reason: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def dropped_total(self) -> int:
+        return self.dropped_no_route + self.dropped_ttl + self.dropped_other
 
 
 class Node:
@@ -119,6 +130,9 @@ class Node:
         """Entry point called by the incoming link."""
         self.stats.rx_packets += 1
         pkt.hops += 1
+        fl = self.trace.flight
+        if fl is not None:
+            fl.rx(self.sim.now, self.name, pkt, ifname)
         self.handle(pkt, ifname)
 
     def handle(self, pkt: Packet, ifname: str) -> None:
@@ -131,26 +145,42 @@ class Node:
     def deliver_local(self, pkt: Packet) -> None:
         """Hand a packet addressed to this node to the local application(s)."""
         self.stats.delivered += 1
+        fl = self.trace.flight
+        if fl is not None:
+            fl.deliver(self.sim.now, self.name, pkt)
         for sink in self.local_sinks:
             sink(pkt)
 
-    def drop(self, pkt: Packet, reason: str) -> None:
-        """Account and trace a packet drop."""
-        if reason in ("no_route", "no_vrf_route"):
+    def drop(self, pkt: Packet, reason: "DropReason | str") -> None:
+        """Account and trace a packet drop.
+
+        ``reason`` is normally a :class:`DropReason`; legacy string reasons
+        are parsed through the taxonomy (unknown strings land in OTHER but
+        keep their verbatim text in ``by_reason`` and on the trace record).
+        """
+        r = DropReason.parse(reason)
+        cat = r.category
+        if cat == "no_route":
             self.stats.dropped_no_route += 1
-        elif reason == "ttl":
+        elif cat == "ttl":
             self.stats.dropped_ttl += 1
         else:
             self.stats.dropped_other += 1
+        text = reason if isinstance(reason, str) else r.value
+        by = self.stats.by_reason
+        by[text] = by.get(text, 0) + 1
+        fl = self.trace.flight
+        if fl is not None:
+            fl.drop(self.sim.now, self.name, pkt, text)
         self.trace.publish(
-            "drop", self.sim.now, node=self.name, reason=reason, pkt=pkt
+            "drop", self.sim.now, node=self.name, reason=text, pkt=pkt
         )
 
     def transmit(self, pkt: Packet, ifname: str) -> None:
         """Queue ``pkt`` on interface ``ifname`` for transmission."""
         iface = self.interfaces.get(ifname)
         if iface is None or iface.link is None:
-            self.drop(pkt, "no_iface")
+            self.drop(pkt, DropReason.NO_IFACE)
             return
         self.stats.forwarded += 1
         iface.send(pkt)
@@ -194,7 +224,7 @@ class Host(Node):
         out = self.gateway_ifname
         if out is None:
             if len(self.interfaces) != 1:
-                self.drop(pkt, "no_route")
+                self.drop(pkt, DropReason.NO_ROUTE)
                 return
             out = next(iter(self.interfaces))
         self.transmit(pkt, out)

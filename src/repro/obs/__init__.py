@@ -1,0 +1,35 @@
+"""Unified observability layer (the backbone's "NMS").
+
+Everything the simulator can measure flows through this package:
+
+* :mod:`repro.obs.registry` — labeled counter/gauge/histogram families
+  with JSON and Prometheus-text exporters.
+* :mod:`repro.obs.profiler` — sampling kernel profiler for the event loop
+  (per-kind dispatch counts, callback wall time, heap depth).
+* :mod:`repro.obs.flightrec` — bounded per-hop packet flight recorder
+  (enqueue/dequeue/label ops/drops) for post-mortem path reconstruction.
+* :mod:`repro.obs.flows` — NetFlow-style per-PE/per-VRF/per-class
+  accounting at VPN ingress and egress.
+* :mod:`repro.obs.telemetry` — one session object tying the above to a
+  :class:`~repro.topology.Network` and emitting a run manifest.
+* :mod:`repro.obs.runtime` — process-wide enable/disable switch the CLI
+  uses so experiments need no signature changes.
+
+Everything is strictly opt-in: with telemetry disabled the only residue on
+the hot paths is a ``None`` check (same budget as the TraceBus fast path).
+"""
+
+from repro.obs.flightrec import FlightRecorder, HopRecord
+from repro.obs.flows import FlowAccountant
+from repro.obs.profiler import KernelProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "FlightRecorder",
+    "HopRecord",
+    "FlowAccountant",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "Telemetry",
+]

@@ -1,0 +1,224 @@
+"""Packet flight recorder: a bounded ring buffer of per-hop events.
+
+Every instrumented touch point (receive, queue enqueue/dequeue, label
+push/swap/pop, local delivery, drop) appends one :class:`HopRecord`.  The
+buffer is a ``deque(maxlen=...)`` so memory is bounded no matter how long
+the run: old hops fall off the back, which is exactly the black-box
+behaviour the name promises — after something goes wrong you read out the
+recent past.
+
+Records are keyed by the *innermost* packet (the original customer
+datagram), so one flow's journey can be reconstructed across label
+imposition, VPN encapsulation, and FRR detours: :meth:`path_of` returns
+the ordered hop list for a flow and :meth:`explain` renders it.
+
+Hot-path producers call the ``rx``/``enqueue``/``dequeue``/``label_op``/
+``deliver``/``drop`` methods directly (no TraceBus dict round-trip); they
+are only reachable when a telemetry session installed the recorder on
+``trace.flight``, so the disabled cost is one ``None`` check at each site.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.net.packet import Packet
+
+__all__ = ["FlightRecorder", "HopRecord"]
+
+
+@dataclass(slots=True, frozen=True)
+class HopRecord:
+    """One per-hop event of one packet.
+
+    ``labels`` is the MPLS stack *after* the event, bottom→top; ``uid`` is
+    the innermost packet's id (stable across encapsulation).
+    """
+
+    time: float
+    node: str
+    event: str              # rx | enqueue | dequeue | deliver | drop | push | swap | pop
+    uid: int
+    flow: Any
+    seq: int
+    ifname: str | None = None
+    labels: tuple[int, ...] = ()
+    in_label: int | None = None
+    out_label: int | None = None
+    reason: str | None = None
+    backlog: int | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        d: dict[str, Any] = {
+            "time": self.time,
+            "node": self.node,
+            "event": self.event,
+            "uid": self.uid,
+            "flow": self.flow,
+            "seq": self.seq,
+            "labels": list(self.labels),
+        }
+        if self.ifname is not None:
+            d["ifname"] = self.ifname
+        if self.in_label is not None:
+            d["in_label"] = self.in_label
+        if self.out_label is not None:
+            d["out_label"] = self.out_label
+        if self.reason is not None:
+            d["reason"] = self.reason
+        if self.backlog is not None:
+            d["backlog"] = self.backlog
+        return d
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`HopRecord` (see module docstring)."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = int(capacity)
+        self._ring: deque[HopRecord] = deque(maxlen=self.capacity)
+        self.recorded = 0  # total appended, including those aged out
+
+    # ------------------------------------------------------------------
+    # Producers (hot paths)
+    # ------------------------------------------------------------------
+    def _append(self, rec: HopRecord) -> None:
+        self._ring.append(rec)
+        self.recorded += 1
+
+    @staticmethod
+    def _stack(pkt: Packet) -> tuple[int, ...]:
+        return tuple(e.label for e in pkt.mpls_stack)
+
+    def rx(self, time: float, node: str, pkt: Packet, ifname: str) -> None:
+        inner = pkt.innermost()
+        self._append(
+            HopRecord(time, node, "rx", inner.uid, inner.flow, inner.seq,
+                      ifname=ifname, labels=self._stack(pkt))
+        )
+
+    def enqueue(
+        self, time: float, node: str, pkt: Packet, ifname: str, backlog: int
+    ) -> None:
+        inner = pkt.innermost()
+        self._append(
+            HopRecord(time, node, "enqueue", inner.uid, inner.flow, inner.seq,
+                      ifname=ifname, labels=self._stack(pkt), backlog=backlog)
+        )
+
+    def dequeue(
+        self, time: float, node: str, pkt: Packet, ifname: str, backlog: int
+    ) -> None:
+        inner = pkt.innermost()
+        self._append(
+            HopRecord(time, node, "dequeue", inner.uid, inner.flow, inner.seq,
+                      ifname=ifname, labels=self._stack(pkt), backlog=backlog)
+        )
+
+    def deliver(self, time: float, node: str, pkt: Packet) -> None:
+        inner = pkt.innermost()
+        self._append(
+            HopRecord(time, node, "deliver", inner.uid, inner.flow, inner.seq,
+                      labels=self._stack(pkt))
+        )
+
+    def drop(
+        self,
+        time: float,
+        node: str,
+        pkt: Packet,
+        reason: str,
+        ifname: str | None = None,
+    ) -> None:
+        inner = pkt.innermost()
+        self._append(
+            HopRecord(time, node, "drop", inner.uid, inner.flow, inner.seq,
+                      ifname=ifname, labels=self._stack(pkt), reason=reason)
+        )
+
+    def label_op(
+        self,
+        time: float,
+        node: str,
+        pkt: Packet,
+        op: str,
+        old: int | None = None,
+        new: int | None = None,
+    ) -> None:
+        """Record a push/swap/pop.  Called *before* the stack mutation, so
+        ``labels`` shows the pre-op stack and ``in_label``/``out_label``
+        carry the transition."""
+        inner = pkt.innermost()
+        self._append(
+            HopRecord(time, node, op, inner.uid, inner.flow, inner.seq,
+                      labels=self._stack(pkt), in_label=old, out_label=new)
+        )
+
+    # ------------------------------------------------------------------
+    # Consumers (post-mortem)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def records(self) -> list[HopRecord]:
+        return list(self._ring)
+
+    def path_of(self, flow: Any, seq: int | None = None) -> list[HopRecord]:
+        """Ordered hop records of one flow (optionally one sequence number)."""
+        return [
+            r
+            for r in self._ring
+            if r.flow == flow and (seq is None or r.seq == seq)
+        ]
+
+    def packets_of(self, flow: Any) -> list[int]:
+        """Distinct sequence numbers of ``flow`` still in the buffer."""
+        seen: dict[int, None] = {}
+        for r in self._ring:
+            if r.flow == flow:
+                seen.setdefault(r.seq)
+        return list(seen)
+
+    def explain(self, flow: Any, seq: int | None = None) -> str:
+        """Human-readable hop-by-hop account of a flow's journey."""
+        recs = self.path_of(flow, seq)
+        if not recs:
+            return f"flight recorder: no records for flow {flow!r}"
+        lines = [f"flow {flow!r}: {len(recs)} recorded events"]
+        for r in recs:
+            stack = "+".join(str(x) for x in reversed(r.labels)) or "ip"
+            detail = ""
+            if r.event == "swap":
+                detail = f" {r.in_label}->{r.out_label}"
+            elif r.event == "push":
+                detail = f" +{r.out_label}"
+            elif r.event == "pop":
+                detail = f" -{r.in_label}"
+            elif r.event == "drop":
+                detail = f" reason={r.reason}"
+            elif r.backlog is not None:
+                detail = f" backlog={r.backlog}"
+            where = f"{r.node}" + (f".{r.ifname}" if r.ifname else "")
+            lines.append(
+                f"  t={r.time:.6f} seq={r.seq:<5d} {r.event:<8s} {where:<16s}"
+                f" [{stack}]{detail}"
+            )
+        return "\n".join(lines)
+
+    def to_json(self, flow: Any = None) -> list[dict[str, Any]]:
+        recs: Iterable[HopRecord] = (
+            self._ring if flow is None else self.path_of(flow)
+        )
+        return [r.to_dict() for r in recs]
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "buffered": len(self._ring),
+            "recorded_total": self.recorded,
+            "aged_out": self.recorded - len(self._ring),
+        }

@@ -1,0 +1,301 @@
+"""Metrics registry: labeled counter/gauge/histogram families.
+
+A deliberately small re-implementation of the Prometheus client data model
+(no external dependency): a :class:`MetricsRegistry` holds *families*, a
+family has fixed label names, and ``family.labels(node="p1")`` returns the
+child series for one label combination.  Two exporters are provided —
+:meth:`MetricsRegistry.snapshot` (JSON-friendly dict, the manifest format)
+and :meth:`MetricsRegistry.to_prometheus` (the text exposition format, so a
+snapshot can be diffed with standard tooling or scraped off disk).
+
+Semantics follow Prometheus: counters only go up, gauges are set to
+absolute values (telemetry scrapes use gauges so re-scraping is
+idempotent), histograms have cumulative le-inclusive buckets.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+]
+
+#: Default histogram bounds for durations in seconds: 1 µs ... 10 s.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, by: float = 1.0) -> None:
+        if by < 0:
+            raise ValueError("counters only go up")
+        self.value += by
+
+    def get(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """Value that can be set to anything (absolute scrapes, levels)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+    def inc(self, by: float = 1.0) -> None:
+        self.value += by
+
+    def dec(self, by: float = 1.0) -> None:
+        self.value -= by
+
+    def get(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with le-inclusive upper bounds.
+
+    ``bounds`` are the finite bucket upper bounds in increasing order; an
+    implicit +Inf bucket catches the overflow.  Observation is O(log n) via
+    bisect — cheap enough for the profiler's sampled path.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_TIME_BUCKETS) -> None:
+        b = tuple(float(x) for x in bounds)
+        if not b:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b[i] >= b[i + 1] for i in range(len(b) - 1)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = b
+        self.counts = [0] * (len(b) + 1)  # last slot = +Inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, v: float) -> None:
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.sum += v
+        self.count += 1
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0..100) from bucket upper bounds."""
+        if not 0 <= q <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return float("nan")
+        target = self.count * q / 100.0
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                return self.bounds[i] if i < len(self.bounds) else float("inf")
+        return float("inf")
+
+    def snapshot(self) -> dict[str, Any]:
+        cumulative = []
+        running = 0
+        for le, n in zip(self.bounds, self.counts):
+            running += n
+            cumulative.append([le, running])
+        cumulative.append(["+Inf", self.count])
+        return {"buckets": cumulative, "sum": self.sum, "count": self.count}
+
+
+class MetricFamily:
+    """One named metric with fixed label names and per-labelset children."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._buckets = tuple(buckets)
+        self._children: dict[tuple[str, ...], Any] = {}
+
+    def labels(self, **labels: Any) -> Any:
+        """Child series for one label combination (created on first use)."""
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            if self.kind == "counter":
+                child = Counter()
+            elif self.kind == "gauge":
+                child = Gauge()
+            else:
+                child = Histogram(self._buckets)
+            self._children[key] = child
+        return child
+
+    # Convenience for label-less families.
+    def inc(self, by: float = 1.0) -> None:
+        self.labels().inc(by)
+
+    def set(self, v: float) -> None:
+        self.labels().set(v)
+
+    def observe(self, v: float) -> None:
+        self.labels().observe(v)
+
+    def series(self) -> Iterable[tuple[dict[str, str], Any]]:
+        for key, child in sorted(self._children.items()):
+            yield dict(zip(self.label_names, key)), child
+
+
+class MetricsRegistry:
+    """Collection of metric families with JSON / Prometheus exporters."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+
+    # ------------------------------------------------------------------
+    def _register(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        label_names: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> MetricFamily:
+        fam = self._families.get(name)
+        if fam is not None:
+            if fam.kind != kind or fam.label_names != tuple(label_names):
+                raise ValueError(
+                    f"metric {name!r} re-registered with a different "
+                    f"kind/labels ({fam.kind}{fam.label_names} vs "
+                    f"{kind}{tuple(label_names)})"
+                )
+            return fam
+        fam = MetricFamily(name, kind, help, label_names, buckets)
+        self._families[name] = fam
+        return fam
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "counter", help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> MetricFamily:
+        return self._register(name, "histogram", help, labels, buckets)
+
+    def __iter__(self) -> Iterable[MetricFamily]:
+        return iter(self._families.values())
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    # ------------------------------------------------------------------
+    # Exporters
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-friendly dump of every family and series."""
+        out: dict[str, Any] = {}
+        for name in sorted(self._families):
+            fam = self._families[name]
+            series = []
+            for labels, child in fam.series():
+                if fam.kind == "histogram":
+                    entry: dict[str, Any] = {"labels": labels}
+                    entry.update(child.snapshot())
+                else:
+                    entry = {"labels": labels, "value": child.get()}
+                series.append(entry)
+            out[name] = {
+                "type": fam.kind,
+                "help": fam.help,
+                "label_names": list(fam.label_names),
+                "series": series,
+            }
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (0.0.4)."""
+        lines: list[str] = []
+        for name in sorted(self._families):
+            fam = self._families[name]
+            if fam.help:
+                lines.append(f"# HELP {name} {_escape_help(fam.help)}")
+            lines.append(f"# TYPE {name} {fam.kind}")
+            for labels, child in fam.series():
+                if fam.kind == "histogram":
+                    snap = child.snapshot()
+                    for le, n in snap["buckets"]:
+                        le_txt = le if isinstance(le, str) else _fmt(le)
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_labelset(labels, extra=('le', le_txt))} {n}"
+                        )
+                    lines.append(f"{name}_sum{_labelset(labels)} {_fmt(snap['sum'])}")
+                    lines.append(f"{name}_count{_labelset(labels)} {snap['count']}")
+                else:
+                    lines.append(f"{name}{_labelset(labels)} {_fmt(child.get())}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt(v: float) -> str:
+    if isinstance(v, float) and v.is_integer():
+        return str(int(v))
+    return repr(v)
+
+
+def _escape_help(s: str) -> str:
+    return s.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labelset(
+    labels: dict[str, str], extra: tuple[str, str] | None = None
+) -> str:
+    items = list(labels.items())
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in items)
+    return "{" + body + "}"

@@ -1,0 +1,76 @@
+"""Process-wide telemetry switch.
+
+The experiment harnesses construct their own :class:`~repro.topology.Network`
+objects deep inside ``run_eN()`` functions, so the CLI cannot hand a
+telemetry session to them directly.  Instead the CLI flips this module's
+switch before running and every ``Network.__init__`` asks
+:func:`attach_if_enabled`; sessions accumulate here and the CLI collects
+their manifests afterwards.
+
+Disabled (the default) this costs one module-level boolean check per
+*network construction* — nothing at all per event or per packet.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology import Network
+
+__all__ = [
+    "enable",
+    "disable",
+    "is_enabled",
+    "attach_if_enabled",
+    "sessions",
+    "reset",
+]
+
+_enabled = False
+_options: dict[str, Any] = {}
+_sessions: list[Telemetry] = []
+
+
+def enable(**options: Any) -> None:
+    """Turn telemetry on; ``options`` are passed to every new session
+    (``sample_every``, ``flight_capacity``, ``profile``)."""
+    global _enabled, _options
+    _enabled = True
+    _options = dict(options)
+
+
+def disable() -> None:
+    """Stop attaching to new networks (existing sessions keep collecting)."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def attach_if_enabled(net: "Network") -> Telemetry | None:
+    """Called by ``Network.__init__``; returns the session or ``None``."""
+    if not _enabled:
+        return None
+    session = Telemetry(net, **_options)
+    _sessions.append(session)
+    return session
+
+
+def sessions() -> list[Telemetry]:
+    """Sessions created since the last :func:`reset`, in creation order."""
+    return list(_sessions)
+
+
+def reset() -> None:
+    """Disable and forget all sessions (detaching them first)."""
+    global _options
+    disable()
+    for s in _sessions:
+        s.detach()
+    _sessions.clear()
+    _options = {}

@@ -1,0 +1,223 @@
+"""One telemetry session per :class:`~repro.topology.Network`.
+
+A :class:`Telemetry` object is the glue between the passive collectors in
+this package and one simulated network: constructing it installs the
+flight recorder and flow accountant on the network's TraceBus and attaches
+the kernel profiler to its simulator; :meth:`scrape` walks the live
+node/interface/class counters into labeled gauge families; and
+:meth:`manifest` folds everything — seed, git revision, config, metrics,
+kernel profile, flow tables, flight-recorder summary — into one
+JSON-serialisable run manifest (schema ``repro.telemetry/v1``, checked by
+:mod:`repro.obs.schema`).
+
+Scrapes populate *gauges* with absolute values so re-scraping is
+idempotent: calling :meth:`scrape` twice does not double-count anything.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.flightrec import FlightRecorder
+from repro.obs.flows import FlowAccountant
+from repro.obs.profiler import KernelProfiler
+from repro.obs.registry import MetricsRegistry
+from repro.qos.cbq import CbqScheduler
+from repro.qos.queues import DropTailFifo, _ClassfulBase
+from repro.qos.shaper import TokenBucketShaper
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology imports us)
+    from repro.topology import Network
+
+__all__ = ["Telemetry", "SCHEMA_ID"]
+
+SCHEMA_ID = "repro.telemetry/v1"
+
+_git_rev_cache: str | None | bool = False  # False = not looked up yet
+
+
+def _git_rev() -> str | None:
+    """Current git revision of the repo this module lives in (cached)."""
+    global _git_rev_cache
+    if _git_rev_cache is False:
+        try:
+            out = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=Path(__file__).resolve().parent,
+                capture_output=True,
+                text=True,
+                timeout=5,
+                check=True,
+            )
+            _git_rev_cache = out.stdout.strip() or None
+        except Exception:
+            _git_rev_cache = None
+    return _git_rev_cache
+
+
+class Telemetry:
+    """Measurement session bound to one network (see module docstring)."""
+
+    def __init__(
+        self,
+        net: "Network",
+        sample_every: int = 64,
+        flight_capacity: int = 65536,
+        profile: bool = True,
+    ) -> None:
+        self.net = net
+        self.registry = MetricsRegistry()
+        self.flight = FlightRecorder(capacity=flight_capacity)
+        self.flows = FlowAccountant()
+        self.profiler: KernelProfiler | None = (
+            KernelProfiler(net.sim, sample_every=sample_every) if profile else None
+        )
+        net.trace.flight = self.flight
+        net.trace.flows = self.flows
+        if self.profiler is not None:
+            self.profiler.attach()
+
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Stop collecting; gathered data stays readable."""
+        if self.net.trace.flight is self.flight:
+            self.net.trace.flight = None
+        if self.net.trace.flows is self.flows:
+            self.net.trace.flows = None
+        if self.profiler is not None:
+            self.profiler.detach()
+
+    # ------------------------------------------------------------------
+    # Scrape: live counters -> labeled gauge families
+    # ------------------------------------------------------------------
+    def scrape(self) -> MetricsRegistry:
+        """Walk the network's counters into the registry (idempotent)."""
+        reg = self.registry
+        self._scrape_sim(reg)
+        self._scrape_nodes(reg)
+        self._scrape_interfaces(reg)
+        self._scrape_counters(reg)
+        return reg
+
+    def _scrape_sim(self, reg: MetricsRegistry) -> None:
+        sim = self.net.sim
+        reg.gauge("repro_sim_now_seconds", "Simulation clock").set(sim.now)
+        reg.gauge(
+            "repro_sim_events_processed", "Callbacks executed by the kernel"
+        ).set(sim.events_processed)
+        reg.gauge("repro_sim_events_pending", "Events still in the heap").set(
+            sim.pending
+        )
+
+    def _scrape_nodes(self, reg: MetricsRegistry) -> None:
+        rx = reg.gauge("repro_node_rx_packets", "Packets received", ("node",))
+        fwd = reg.gauge("repro_node_forwarded_packets", "Packets forwarded", ("node",))
+        dlv = reg.gauge(
+            "repro_node_delivered_packets", "Packets delivered locally", ("node",)
+        )
+        drops = reg.gauge(
+            "repro_node_dropped_packets",
+            "Packets dropped, by DropReason",
+            ("node", "reason"),
+        )
+        for name, node in sorted(self.net.nodes.items()):
+            s = node.stats
+            rx.labels(node=name).set(s.rx_packets)
+            fwd.labels(node=name).set(s.forwarded)
+            dlv.labels(node=name).set(s.delivered)
+            for reason, n in sorted(s.by_reason.items()):
+                drops.labels(node=name, reason=reason).set(n)
+
+    def _scrape_interfaces(self, reg: MetricsRegistry) -> None:
+        ifl = ("node", "iface")
+        tx_p = reg.gauge("repro_iface_tx_packets", "Packets transmitted", ifl)
+        tx_b = reg.gauge("repro_iface_tx_bytes", "Bytes transmitted", ifl)
+        enq = reg.gauge("repro_iface_enqueued_packets", "Packets enqueued", ifl)
+        drp = reg.gauge("repro_iface_dropped_packets", "Queue drops", ifl)
+        cnd = reg.gauge(
+            "repro_iface_conditioner_dropped_packets", "Conditioner drops", ifl
+        )
+        busy = reg.gauge("repro_iface_busy_seconds", "Transmitter busy time", ifl)
+        backlog = reg.gauge(
+            "repro_iface_backlog_packets", "Instantaneous queue depth", ifl
+        )
+        cl = ("node", "iface", "cls")
+        c_enq = reg.gauge("repro_class_enqueued_packets", "Per-class enqueues", cl)
+        c_deq = reg.gauge("repro_class_dequeued_packets", "Per-class dequeues", cl)
+        c_drp = reg.gauge("repro_class_dropped_packets", "Per-class drops", cl)
+        c_byt = reg.gauge("repro_class_sent_bytes", "Per-class bytes sent", cl)
+        for nname, node in sorted(self.net.nodes.items()):
+            for ifname, iface in sorted(node.interfaces.items()):
+                s = iface.stats
+                lab = {"node": nname, "iface": ifname}
+                tx_p.labels(**lab).set(s.tx_packets)
+                tx_b.labels(**lab).set(s.tx_bytes)
+                enq.labels(**lab).set(s.enqueued)
+                drp.labels(**lab).set(s.dropped)
+                cnd.labels(**lab).set(s.conditioner_dropped)
+                busy.labels(**lab).set(s.busy_time)
+                backlog.labels(**lab).set(len(iface.qdisc))
+                for cls, cs in self._class_stats(iface.qdisc):
+                    clab = {"node": nname, "iface": ifname, "cls": cls}
+                    c_enq.labels(**clab).set(cs.enqueued)
+                    c_deq.labels(**clab).set(cs.dequeued)
+                    c_drp.labels(**clab).set(cs.dropped)
+                    c_byt.labels(**clab).set(cs.bytes_sent)
+
+    @staticmethod
+    def _class_stats(qdisc: Any):
+        """Yield ``(class_name, ClassStats)`` for any known discipline."""
+        if isinstance(qdisc, DropTailFifo):
+            yield "fifo", qdisc.stats
+        elif isinstance(qdisc, _ClassfulBase):
+            for i, cq in enumerate(qdisc.classes):
+                yield cq.name or f"class{i}", cq.stats
+        elif isinstance(qdisc, CbqScheduler):
+            for cls in qdisc.cbq_classes:
+                yield cls.name, cls.queue.stats
+        elif isinstance(qdisc, TokenBucketShaper):
+            yield "shaper", qdisc.stats
+
+    def _scrape_counters(self, reg: MetricsRegistry) -> None:
+        fam = reg.gauge(
+            "repro_control_counter", "Control-plane message/state counters", ("name",)
+        )
+        for name, n in self.net.counters:
+            fam.labels(name=name).set(n)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+    def manifest(self, config: dict[str, Any] | None = None) -> dict[str, Any]:
+        """One JSON-serialisable document describing this run."""
+        self.scrape()
+        sim = self.net.sim
+        return {
+            "schema": SCHEMA_ID,
+            "kind": "run",
+            "seed": self.net.streams.seed,
+            "git_rev": _git_rev(),
+            "config": config,
+            "sim": {
+                "now_s": sim.now,
+                "events_processed": sim.events_processed,
+                "events_pending": sim.pending,
+                "nodes": len(self.net.nodes),
+                "links": len(self.net.duplex_links),
+            },
+            "metrics": self.registry.snapshot(),
+            "profile": (
+                self.profiler.snapshot() if self.profiler is not None else None
+            ),
+            "flows": self.flows.table(),
+            "flight": self.flight.summary(),
+        }
+
+    def write(self, path: str | Path, config: dict[str, Any] | None = None) -> Path:
+        """Write :meth:`manifest` to ``path`` as pretty-printed JSON."""
+        p = Path(path)
+        p.write_text(json.dumps(self.manifest(config=config), indent=2) + "\n")
+        return p

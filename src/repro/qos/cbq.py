@@ -29,7 +29,7 @@ from typing import Optional, Sequence
 
 from repro.net.packet import Packet
 from repro.qos.meter import TokenBucket
-from repro.qos.queues import ClassifyFn, ClassQueue, QueueDiscipline
+from repro.qos.queues import ClassifyFn, ClassQueue, DropCallback, QueueDiscipline
 
 __all__ = ["CbqClass", "CbqScheduler"]
 
@@ -93,6 +93,10 @@ class CbqScheduler(QueueDiscipline):
         if not 0 <= idx < len(self.cbq_classes):
             idx = len(self.cbq_classes) - 1
         return self.cbq_classes[idx].queue.push(pkt, now)
+
+    def set_drop_callback(self, cb: DropCallback | None) -> None:
+        for cls in self.cbq_classes:
+            cls.queue.on_drop = cb
 
     def dequeue(self, now: float) -> Optional[Packet]:
         # Pass 1: underlimit classes, in priority order (guaranteed shares).

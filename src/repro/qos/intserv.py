@@ -24,8 +24,8 @@ same protection to the reserved flows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.net.packet import Packet
 from repro.qos.classifier import FlowMatch, exp_classifier

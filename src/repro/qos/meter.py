@@ -14,7 +14,6 @@ are the "granular Service Level Agreements" of the paper's §3.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Optional
 
@@ -105,6 +104,7 @@ class SrTCM:
         self._tc = float(cbs_bytes)
         self._te = float(ebs_bytes)
         self._last = 0.0
+        self.marked = {Color.GREEN: 0, Color.YELLOW: 0, Color.RED: 0}
 
     def _refill(self, now: float) -> None:
         if now <= self._last:
@@ -123,11 +123,18 @@ class SrTCM:
         self._refill(now)
         if self._tc >= nbytes:
             self._tc -= nbytes
-            return Color.GREEN
-        if self._te >= nbytes:
+            c = Color.GREEN
+        elif self._te >= nbytes:
             self._te -= nbytes
-            return Color.YELLOW
-        return Color.RED
+            c = Color.YELLOW
+        else:
+            c = Color.RED
+        self.marked[c] += 1
+        return c
+
+    def counts(self) -> dict[str, int]:
+        """Per-color packet counts since creation (for telemetry scrapes)."""
+        return {c.value: n for c, n in self.marked.items()}
 
 
 class TrTCM:
@@ -147,19 +154,27 @@ class TrTCM:
             raise ValueError("PIR must be >= CIR")
         self.committed = TokenBucket(cir_bps, cbs_bytes)
         self.peak = TokenBucket(pir_bps, pbs_bytes)
+        self.marked = {Color.GREEN: 0, Color.YELLOW: 0, Color.RED: 0}
 
     def color(self, nbytes: int, now: float) -> Color:
         """Color a packet and consume tokens per RFC 2698 §3 (color-blind)."""
         # Check peak first: exceeding PIR is red regardless of CIR credit,
         # and red packets consume nothing.
         if self.peak.tokens(now) < nbytes:
+            self.marked[Color.RED] += 1
             return Color.RED
         if self.committed.tokens(now) < nbytes:
             self.peak.conforms(nbytes, now)
+            self.marked[Color.YELLOW] += 1
             return Color.YELLOW
         self.peak.conforms(nbytes, now)
         self.committed.conforms(nbytes, now)
+        self.marked[Color.GREEN] += 1
         return Color.GREEN
+
+    def counts(self) -> dict[str, int]:
+        """Per-color packet counts since creation (for telemetry scrapes)."""
+        return {c.value: n for c, n in self.marked.items()}
 
 
 # ---------------------------------------------------------------------------

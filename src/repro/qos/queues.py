@@ -28,10 +28,12 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol, Sequence
 
+from repro.net.drops import DropReason
 from repro.net.packet import Packet
 
 __all__ = [
     "ClassifyFn",
+    "DropCallback",
     "QueueDiscipline",
     "DropPolicy",
     "ClassStats",
@@ -46,6 +48,12 @@ __all__ = [
 # Maps a packet to a class index (0-based).  Interior nodes classify on the
 # MPLS EXP field or outer DSCP; see repro.qos.classifier for builders.
 ClassifyFn = Callable[[Packet], int]
+
+# Invoked when a discipline refuses a packet: (pkt, reason, now).  Wired by
+# the owning Interface so queue losses reach the TraceBus / flight recorder
+# with a taxonomy (QUEUE_TAIL vs QUEUE_AQM) instead of only bumping
+# ClassStats.dropped.
+DropCallback = Callable[[Packet, DropReason, float], None]
 
 
 class DropPolicy(Protocol):
@@ -96,6 +104,13 @@ class QueueDiscipline:
     def backlog_bytes(self) -> int:
         raise NotImplementedError
 
+    def set_drop_callback(self, cb: DropCallback | None) -> None:
+        """Install (or clear) the drop-notification callback.
+
+        Default is a no-op so exotic disciplines keep working; concrete
+        disciplines that can refuse packets override this.
+        """
+
 
 class DropTailFifo(QueueDiscipline):
     """Single FIFO with byte and packet capacity limits; optional AQM.
@@ -120,12 +135,18 @@ class DropTailFifo(QueueDiscipline):
         self.capacity_bytes = capacity_bytes
         self.drop_policy = drop_policy
         self.stats = ClassStats()
+        self.on_drop: DropCallback | None = None
+
+    def set_drop_callback(self, cb: DropCallback | None) -> None:
+        self.on_drop = cb
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
         if self.drop_policy is not None and self.drop_policy.should_drop(
             pkt, self._bytes, now
         ):
             self.stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt, DropReason.QUEUE_AQM, now)
             return False
         if (
             self.capacity_packets is not None
@@ -135,6 +156,8 @@ class DropTailFifo(QueueDiscipline):
             and self._bytes + pkt.wire_bytes > self.capacity_bytes
         ):
             self.stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt, DropReason.QUEUE_TAIL, now)
             return False
         self._q.append(pkt)
         self._bytes += pkt.wire_bytes
@@ -171,12 +194,15 @@ class ClassQueue:
     q: deque[Packet] = field(default_factory=deque)
     bytes: int = 0
     stats: ClassStats = field(default_factory=ClassStats)
+    on_drop: DropCallback | None = field(default=None, repr=False)
 
     def push(self, pkt: Packet, now: float) -> bool:
         if self.drop_policy is not None and self.drop_policy.should_drop(
             pkt, self.bytes, now
         ):
             self.stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt, DropReason.QUEUE_AQM, now)
             return False
         if (
             self.capacity_packets is not None and len(self.q) >= self.capacity_packets
@@ -185,6 +211,8 @@ class ClassQueue:
             and self.bytes + pkt.wire_bytes > self.capacity_bytes
         ):
             self.stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt, DropReason.QUEUE_TAIL, now)
             return False
         self.q.append(pkt)
         self.bytes += pkt.wire_bytes
@@ -224,6 +252,10 @@ class _ClassfulBase(QueueDiscipline):
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
         return self._class_for(pkt).push(pkt, now)
+
+    def set_drop_callback(self, cb: DropCallback | None) -> None:
+        for cq in self.classes:
+            cq.on_drop = cb
 
     def __len__(self) -> int:
         return sum(len(c) for c in self.classes)

@@ -13,7 +13,6 @@ Implemented as :class:`DropPolicy` objects pluggable into any queue in
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.net.packet import Packet

@@ -18,9 +18,10 @@ from __future__ import annotations
 from collections import deque
 from typing import Optional
 
+from repro.net.drops import DropReason
 from repro.net.packet import Packet
 from repro.qos.meter import TokenBucket
-from repro.qos.queues import ClassStats, QueueDiscipline
+from repro.qos.queues import ClassStats, DropCallback, QueueDiscipline
 
 __all__ = ["TokenBucketShaper"]
 
@@ -51,6 +52,10 @@ class TokenBucketShaper(QueueDiscipline):
         self.capacity_packets = capacity_packets
         self.capacity_bytes = capacity_bytes
         self.stats = ClassStats()
+        self.on_drop: DropCallback | None = None
+
+    def set_drop_callback(self, cb: DropCallback | None) -> None:
+        self.on_drop = cb
 
     # ------------------------------------------------------------------
     def enqueue(self, pkt: Packet, now: float) -> bool:
@@ -61,6 +66,8 @@ class TokenBucketShaper(QueueDiscipline):
             and self._bytes + pkt.wire_bytes > self.capacity_bytes
         ):
             self.stats.dropped += 1
+            if self.on_drop is not None:
+                self.on_drop(pkt, DropReason.QUEUE_TAIL, now)
             return False
         self._q.append(pkt)
         self._bytes += pkt.wire_bytes

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import zlib
 
+from repro.net.drops import DropReason
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.routing.fib import Fib, RouteEntry
@@ -45,7 +46,7 @@ class Router(Node):
             # Labeled packet at a non-MPLS router: the deployment scenario of
             # Fig. 4 never lets this happen (LSPs terminate at LSR edges);
             # treat it as a configuration error rather than silently routing.
-            self.drop(pkt, "labeled_at_ip_router")
+            self.drop(pkt, DropReason.LABELED_AT_IP_ROUTER)
             return
         if self.owns(pkt.ip.dst):
             self.deliver_local(pkt)
@@ -56,11 +57,11 @@ class Router(Node):
 
     def _forward_ip(self, pkt: Packet) -> None:
         if pkt.decrement_ttl() <= 0:
-            self.drop(pkt, "ttl")
+            self.drop(pkt, DropReason.TTL)
             return
         entry = self.fib.lookup(pkt.ip.dst)
         if entry is None:
-            self.drop(pkt, "no_route")
+            self.drop(pkt, DropReason.NO_ROUTE)
             return
         self.dispatch(pkt, entry)
 

@@ -78,6 +78,12 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._stop_requested = False
+        # Observability hook: when set, each fired event is routed through
+        # ``_profile_hook(event)`` instead of ``event.callback()``.  The
+        # ``None`` check is the entire disabled-mode cost (one load + jump),
+        # mirroring the TraceBus no-subscriber fast path.
+        self._profile_hook: Callable[[Event], None] | None = None
+        self._id_counters: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Clock
@@ -127,6 +133,18 @@ class Simulator:
         """Schedule ``callback`` at the current time, after pending same-time events."""
         return self.schedule(0.0, callback)
 
+    def next_id(self, namespace: str) -> int:
+        """Monotonically increasing id scoped to this simulator.
+
+        Used for deterministic auto-generated names (probe flows, ...):
+        unlike a module/class-level counter, the sequence restarts at 1 for
+        every fresh :class:`Simulator`, so two runs of the same scenario
+        produce identical names.
+        """
+        nxt = self._id_counters.get(namespace, 0) + 1
+        self._id_counters[namespace] = nxt
+        return nxt
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -159,7 +177,11 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self._now = time
-                event.callback()
+                hook = self._profile_hook
+                if hook is None:
+                    event.callback()
+                else:
+                    hook(event)
                 self._events_processed += 1
                 budget -= 1
                 if budget < 0:
@@ -182,7 +204,11 @@ class Simulator:
             if event.cancelled:
                 continue
             self._now = time
-            event.callback()
+            hook = self._profile_hook
+            if hook is None:
+                event.callback()
+            else:
+                hook(event)
             self._events_processed += 1
             return True
         return False
@@ -254,3 +280,9 @@ def bind(callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Callable[[]
         callback(*args, **kwargs)
 
     return _bound
+
+
+# All ``bind`` closures share this code object; the kernel profiler uses it
+# to recognise a bound callback and unwrap the inner callable for per-kind
+# attribution (see repro.obs.profiler).
+_BOUND_CODE = bind(lambda: None).__code__

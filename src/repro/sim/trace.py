@@ -41,10 +41,30 @@ class TraceBus:
     def __init__(self) -> None:
         self._subs: dict[str, list[Callable[[TraceRecord], None]]] = defaultdict(list)
         self._recorded: dict[str, list[TraceRecord]] = {}
+        # Direct observability attachment points.  Per-hop hot paths check
+        # these attributes against ``None`` instead of going through
+        # ``publish`` — publish builds its kwargs dict *before* the
+        # no-subscriber check, which is too expensive to pay per packet-hop.
+        # Set by repro.obs.telemetry when a Telemetry session attaches.
+        self.flight = None  # FlightRecorder | None
+        self.flows = None   # FlowAccountant | None
 
     def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
         """Invoke ``fn`` for every published record of ``kind``."""
         self._subs[kind].append(fn)
+
+    def unsubscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
+        """Remove a subscription added with :meth:`subscribe`.
+
+        Removes one registration of ``fn`` for ``kind``; raises
+        ``ValueError`` if it was never subscribed.  Empty subscriber lists
+        are deleted so :meth:`active` (and the publish fast path) return to
+        the no-subscriber state.
+        """
+        subs = self._subs[kind]
+        subs.remove(fn)
+        if not subs:
+            del self._subs[kind]
 
     def record(self, kind: str) -> None:
         """Start retaining records of ``kind`` for later inspection."""

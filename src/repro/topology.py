@@ -14,8 +14,8 @@ topology, and a 12-node reference ISP backbone modeled on the two-level
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 import networkx as nx
 
@@ -96,6 +96,12 @@ class Network:
         self.default_qdisc_factory: QdiscFactory = _default_qdisc
         self._loopback_iter = iter(range(1, self.LOOPBACK_POOL.num_addresses - 1))
         self._linknet_iter = self.LINKNET_POOL.subnets(30)
+        # ``None`` unless the process-wide telemetry switch is on (see
+        # repro.obs.runtime); imported late so repro.topology stays importable
+        # without pulling the whole observability stack into every user.
+        from repro.obs.runtime import attach_if_enabled
+
+        self.telemetry = attach_if_enabled(self)
 
     # ------------------------------------------------------------------
     # Node management

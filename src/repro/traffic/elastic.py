@@ -23,7 +23,6 @@ full at low delay, while DropTail synchronizes the sawteeth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.net.address import IPv4Address
 from repro.net.node import Node

@@ -10,7 +10,6 @@ across configuration A/B runs (see repro.sim.randomness).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np

@@ -19,7 +19,7 @@ Message/ session counts land in ``net.counters`` for E1/E9e.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.net.address import IPv4Address, Prefix
 from repro.vpn.pe import PeRouter

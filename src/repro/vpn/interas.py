@@ -20,10 +20,10 @@ IGPs, LDP meshes, and iBGP systems fully independent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.net.address import IPv4Address, Prefix
+from repro.net.address import IPv4Address
 from repro.vpn.pe import PeRouter
 
 if TYPE_CHECKING:  # pragma: no cover

@@ -28,10 +28,11 @@ real-world behaviour of most implementations before buffering tricks).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.address import IPv4Address, Prefix
+from repro.net.drops import DropReason
 from repro.net.packet import IPHeader, Packet
 from repro.routing.router import Router
 from repro.sim.engine import bind
@@ -159,7 +160,7 @@ class IpsecGateway(Router):
         if sa is None or self.sim.now < sa.established_at:
             if sa is not None:
                 sa.dropped_pending += 1
-            self.drop(pkt, "sa_pending")
+            self.drop(pkt, DropReason.SA_PENDING)
             return
         overhead = esp_overhead_bytes(pkt.wire_bytes, sa.block, sa.iv, sa.icv)
         outer_dscp = pkt.ip.dscp if sa.copy_dscp else 0
@@ -182,14 +183,14 @@ class IpsecGateway(Router):
     def _forward_outer(self, pkt: Packet) -> None:
         entry = self.fib.lookup(pkt.ip.dst)
         if entry is None:
-            self.drop(pkt, "no_route")
+            self.drop(pkt, DropReason.NO_ROUTE)
             return
         self.dispatch(pkt, entry)
 
     def _decapsulate(self, pkt: Packet) -> None:
         sa = self.sas.get(pkt.ip.src)
         if sa is None:
-            self.drop(pkt, "no_sa")
+            self.drop(pkt, DropReason.NO_SA)
             return
         sa.decapsulated += 1
         cost = self.processing.crypto_time(pkt.wire_bytes)
@@ -203,7 +204,7 @@ class IpsecGateway(Router):
             return
         entry = self.fib.lookup(pkt.ip.dst)
         if entry is None:
-            self.drop(pkt, "no_route")
+            self.drop(pkt, DropReason.NO_ROUTE)
             return
         self.dispatch(pkt, entry)
 

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from repro.net.drops import DropReason
 from repro.net.packet import Packet
 from repro.routing.router import Router
 from repro.routing.spf import _deterministic_dijkstra, _domain_graph, _egress_towards
@@ -48,7 +49,7 @@ class VcRouter(Router):
                 return
             hop = self.vc_table.get(pkt.vc_id)
             if hop is None:
-                self.drop(pkt, "no_vc")
+                self.drop(pkt, DropReason.NO_VC)
                 return
             out_ifname, next_vc = hop
             pkt.vc_id = next_vc

@@ -20,7 +20,8 @@ from typing import Optional
 from repro.mpls.label import IMPLICIT_NULL
 from repro.mpls.lfib import LabelOp, LfibEntry
 from repro.mpls.lsr import Lsr
-from repro.net.address import IPv4Address, Prefix
+from repro.net.address import Prefix
+from repro.net.drops import DropReason
 from repro.net.packet import Packet
 from repro.qos.dscp import dscp_to_exp
 from repro.sim.engine import bind
@@ -100,12 +101,15 @@ class PeRouter(Lsr):
         super().handle(pkt, ifname)
 
     def _handle_customer(self, pkt: Packet, vrf: Vrf) -> None:
+        fa = self.trace.flows
+        if fa is not None:
+            fa.ingress(self.name, vrf.name, pkt)
         if pkt.decrement_ttl() <= 0:
-            self.drop(pkt, "ttl")
+            self.drop(pkt, DropReason.TTL)
             return
         route = vrf.lookup(pkt.ip.dst)
         if route is None:
-            self.drop(pkt, "no_vrf_route")
+            self.drop(pkt, DropReason.NO_VRF_ROUTE)
             return
         if route.kind == "local":
             # Site-to-site through one PE (both sites on this PE).
@@ -117,16 +121,21 @@ class PeRouter(Lsr):
         assert route.remote_pe is not None and route.vpn_label is not None
         exp = dscp_to_exp(pkt.ip.dscp) if self.qos_exp_mapping else 0
         inner_exp = exp if self.exp_mode == "both" else 0
+        fl = self.trace.flight
+        if fl is not None:
+            fl.label_op(self.sim.now, self.name, pkt, "push", new=route.vpn_label)
         pkt.push_label(route.vpn_label, exp=inner_exp)
         # Resolve the tunnel to the egress PE's loopback through the FTN
         # (an LDP binding or a TE tunnel autoroute).
         tunnel = self.ftn.lookup(Prefix.of(route.remote_pe, 32))
         if tunnel is None:
             pkt.pop_label()
-            self.drop(pkt, "no_tunnel")
+            self.drop(pkt, DropReason.NO_TUNNEL)
             return
         for label in tunnel.labels:
             if label != IMPLICIT_NULL:
+                if fl is not None:
+                    fl.label_op(self.sim.now, self.name, pkt, "push", new=label)
                 pkt.push_label(label, exp=exp)
         self.transmit(pkt, tunnel.out_ifname)
 
@@ -134,13 +143,16 @@ class PeRouter(Lsr):
         """Egress side: tunnel label already removed, VPN label popped."""
         vrf = self.vrfs.get(vrf_name)
         if vrf is None:
-            self.drop(pkt, "unknown_vrf")
+            self.drop(pkt, DropReason.UNKNOWN_VRF)
             return
+        fa = self.trace.flows
+        if fa is not None:
+            fa.egress(self.name, vrf.name, pkt)
         route = vrf.lookup(pkt.ip.dst)
         if route is None or route.kind != "local":
             # Hairpinning remote->remote through an egress PE would be a
             # provisioning loop; refuse rather than bounce across the core.
-            self.drop(pkt, "no_vrf_route")
+            self.drop(pkt, DropReason.NO_VRF_ROUTE)
             return
         self.transmit(pkt, route.out_ifname)  # type: ignore[arg-type]
 

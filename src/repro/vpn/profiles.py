@@ -21,14 +21,9 @@ baseline in :mod:`repro.qos.intserv`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
-
 from repro.qos.dscp import DSCP
 from repro.qos.meter import SrTCM, srtcm_remarker
-from repro.vpn.provision import Site, Vpn
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.vpn.provision import VpnProvisioner
+from repro.vpn.provision import Vpn
 
 __all__ = ["QosProfile", "GOLD", "SILVER", "BRONZE", "apply_profile"]
 

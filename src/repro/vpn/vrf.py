@@ -10,7 +10,7 @@ addresses never meet in one table.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.address import IPv4Address, Prefix

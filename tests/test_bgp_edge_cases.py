@@ -5,11 +5,10 @@ import pytest
 
 from repro.mpls import Lsr, run_ldp
 from repro.net.address import IPv4Address, Prefix
-from repro.net.packet import IPHeader, Packet
 from repro.routing import converge
 from repro.topology import Network
 from repro.vpn import MpBgp, PeRouter, VpnProvisioner
-from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget, VpnPrefix
+from repro.vpn.rd_rt import RouteDistinguisher, VpnPrefix
 
 
 def star_of_pes(n, seed=17):

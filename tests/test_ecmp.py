@@ -1,6 +1,5 @@
 """Tests for equal-cost multipath routing."""
 
-import pytest
 
 from repro.net.address import IPv4Address
 from repro.net.packet import IPHeader, Packet

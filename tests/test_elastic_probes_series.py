@@ -120,6 +120,19 @@ class TestProbeAgent:
         p2 = ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
         assert p1.flow != p2.flow
 
+    def test_probe_ids_are_per_simulator(self):
+        """Probe flow names must be deterministic per run, not global:
+        creating probes in one network must not shift the names another
+        (fresh) network's probes get — that would leak state across
+        repetitions in a single process."""
+        def first_flow():
+            net, tx, rx, _ = bottleneck()
+            return ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2").flow
+
+        a = first_flow()
+        b = first_flow()  # same construction order -> same name
+        assert a == b == "__probe1"
+
     def test_percentile_nan_when_empty(self):
         net, tx, rx, _ = bottleneck()
         probe = ProbeAgent(net.sim, tx, rx, "10.77.0.1", "10.77.0.2")
@@ -144,6 +157,25 @@ class TestTimeSeries:
         ts = TimeSeries(bin_s=1.0, horizon_s=2.0)
         ts.add(50.0, 1)
         assert ts.totals()[50] == 1
+
+    def test_growth_preserves_earlier_bins(self):
+        """Extending past the horizon must not disturb recorded data."""
+        ts = TimeSeries(bin_s=1.0, horizon_s=2.0)
+        ts.add(0.5, 10)
+        ts.add(1.5, 20)
+        before = ts.totals()[:2].copy()
+        ts.add(99.0, 5)  # forces a large extension
+        totals = ts.totals()
+        np.testing.assert_array_equal(totals[:2], before)
+        assert totals[99] == 5
+        assert len(totals) >= 100
+
+    def test_growth_is_incremental(self):
+        ts = TimeSeries(bin_s=0.5, horizon_s=1.0)
+        for i in range(10):
+            ts.add(i * 0.5, 1)
+        assert ts.totals().sum() == 10
+        assert all(t == 1 for t in ts.totals()[:10])
 
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -174,7 +206,6 @@ class TestTimeSeries:
 
     def test_flow_series_sees_failure_gap(self):
         """The E11-style figure: goodput drops to zero during an outage."""
-        from repro.experiments.e11_resilience import run_variant
         # Use the existing experiment path but tap a series via sink wrap.
         net, tx, rx, routers = bottleneck(rate=5e6)
         sink = FlowSink(net.sim).attach(rx)

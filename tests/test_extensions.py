@@ -16,17 +16,13 @@ from repro.net.packet import IPHeader, Packet
 from repro.qos.meter import Color, TrTCM
 from repro.qos.shaper import TokenBucketShaper
 from repro.routing import converge, reconverge, spf_paths
-from repro.sim.engine import Simulator
 from repro.topology import Network, attach_host, build_fish, build_line
 from repro.traffic import CbrSource, FlowSink
 from repro.vpn import (
     PeRouter,
     VpnProvisioner,
     connect_option_a,
-    exchange_option_a,
 )
-from repro.vpn.bgp import MpBgp
-
 
 def pkt(size=100, dscp=0):
     return Packet(ip=IPHeader(IPv4Address(1), IPv4Address(2), dscp=dscp),

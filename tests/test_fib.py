@@ -1,6 +1,5 @@
 """Unit + property tests for the LPM trie FIB."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.net.address import IPv4Address, Prefix

@@ -16,7 +16,7 @@ from repro.net.address import IPv4Address, Prefix
 from repro.net.packet import IPHeader, Packet
 from repro.routing.router import Router
 from repro.routing.spf import converge
-from repro.topology import Network, attach_host, build_backbone, build_line
+from repro.topology import Network, attach_host
 
 
 def pkt(src="10.0.0.1", dst="10.0.0.2", dscp=0, ttl=64):

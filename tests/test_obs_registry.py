@@ -1,0 +1,133 @@
+"""Tests for the metrics registry: families, children, exporters."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.get() == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = Gauge()
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.get() == 7
+
+    def test_histogram_buckets_le_inclusive(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 99.0):
+            h.observe(v)
+        snap = h.snapshot()
+        # Cumulative: le=1 -> 2 (0.5, 1.0), le=2 -> 3, le=4 -> 4, +Inf -> 5.
+        assert snap["buckets"] == [[1.0, 2], [2.0, 3], [4.0, 4], ["+Inf", 5]]
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(106.0)
+
+    def test_histogram_percentile(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 0.6, 0.7, 3.0):
+            h.observe(v)
+        assert h.percentile(50) == 1.0
+        assert h.percentile(100) == 4.0
+        assert math.isnan(Histogram((1.0,)).percentile(50))
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+
+class TestFamilies:
+    def test_labeled_children_are_cached(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("pkts", "packets", labels=("node",))
+        fam.labels(node="a").inc()
+        fam.labels(node="a").inc()
+        fam.labels(node="b").inc(5)
+        assert fam.labels(node="a").get() == 2
+        assert fam.labels(node="b").get() == 5
+
+    def test_label_name_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("g", labels=("node", "iface"))
+        with pytest.raises(ValueError):
+            fam.labels(node="a")
+        with pytest.raises(ValueError):
+            fam.labels(node="a", iface="i", extra="x")
+
+    def test_reregistration_same_shape_returns_existing(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c", labels=("x",))
+        b = reg.counter("c", labels=("x",))
+        assert a is b
+        assert len(reg) == 1
+
+    def test_reregistration_different_shape_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("c", labels=("x",))
+        with pytest.raises(ValueError):
+            reg.gauge("c", labels=("x",))
+        with pytest.raises(ValueError):
+            reg.counter("c", labels=("y",))
+
+    def test_labelless_convenience(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"]["series"][0]["value"] == 3
+        assert snap["g"]["series"][0]["value"] == 7
+        assert snap["h"]["series"][0]["count"] == 1
+
+
+class TestExporters:
+    def _registry(self):
+        reg = MetricsRegistry()
+        fam = reg.gauge("repro_node_rx", "Packets received", labels=("node",))
+        fam.labels(node="pe1").set(10)
+        fam.labels(node="p").set(20)
+        hist = reg.histogram("repro_delay_s", "Delay", buckets=(0.001, 0.01))
+        hist.observe(0.0005)
+        hist.observe(0.5)
+        return reg
+
+    def test_snapshot_is_json_serialisable_and_sorted(self):
+        snap = self._registry().snapshot()
+        json.dumps(snap)  # must not raise
+        assert list(snap) == ["repro_delay_s", "repro_node_rx"]
+        series = snap["repro_node_rx"]["series"]
+        assert [s["labels"]["node"] for s in series] == ["p", "pe1"]
+
+    def test_prometheus_text_format(self):
+        text = self._registry().to_prometheus()
+        assert "# HELP repro_node_rx Packets received" in text
+        assert "# TYPE repro_node_rx gauge" in text
+        assert 'repro_node_rx{node="pe1"} 10' in text
+        assert 'repro_delay_s_bucket{le="0.001"} 1' in text
+        assert 'repro_delay_s_bucket{le="+Inf"} 2' in text
+        assert "repro_delay_s_count 2" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", labels=("name",)).labels(name='a"b\\c').set(1)
+        text = reg.to_prometheus()
+        assert 'name="a\\"b\\\\c"' in text

@@ -13,7 +13,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.mpls import IMPLICIT_NULL, AdmissionError, Lsr, TrafficEngineering, run_ldp
 from repro.mpls.lfib import LabelOp
-from repro.net.address import IPv4Address, Prefix
+from repro.net.address import IPv4Address
 from repro.net.packet import IPHeader, Packet
 from repro.routing import converge
 from repro.topology import Network, build_backbone

@@ -98,6 +98,54 @@ class TestTraceBus:
         bus.publish("k", 0.0)
         assert len(a) == 1 and len(b) == 1
 
+    def test_unsubscribe_stops_delivery(self):
+        bus = TraceBus()
+        got = []
+        bus.subscribe("k", got.append)
+        bus.publish("k", 0.0)
+        bus.unsubscribe("k", got.append)
+        bus.publish("k", 1.0)
+        assert len(got) == 1
+
+    def test_unsubscribe_restores_fast_path(self):
+        bus = TraceBus()
+        got = []
+        bus.subscribe("k", got.append)
+        assert bus.active("k")
+        bus.unsubscribe("k", got.append)
+        assert not bus.active("k")
+
+    def test_unsubscribe_unknown_raises(self):
+        bus = TraceBus()
+        import pytest
+        with pytest.raises(ValueError):
+            bus.unsubscribe("k", lambda rec: None)
+
+    def test_unsubscribe_keeps_other_subscribers(self):
+        bus = TraceBus()
+        a, b = [], []
+        bus.subscribe("k", a.append)
+        bus.subscribe("k", b.append)
+        bus.unsubscribe("k", a.append)
+        bus.publish("k", 0.0)
+        assert len(a) == 0 and len(b) == 1
+
+    def test_record_mode_survives_unsubscribe_of_others(self):
+        """record() retention is independent of other subscriptions."""
+        bus = TraceBus()
+        extra = []
+        bus.record("k")
+        bus.subscribe("k", extra.append)
+        bus.publish("k", 1.0, n=1)
+        bus.unsubscribe("k", extra.append)
+        bus.publish("k", 2.0, n=2)
+        assert [r.n for r in bus.records("k")] == [1, 2]
+        assert len(extra) == 1
+
+    def test_observability_attachment_points_default_off(self):
+        bus = TraceBus()
+        assert bus.flight is None and bus.flows is None
+
 
 class TestCounter:
     def test_incr_and_get(self):

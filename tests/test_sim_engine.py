@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.sim.engine import Event, SimulationError, Simulator, Timer, bind, drain
+from repro.sim.engine import SimulationError, Simulator, Timer, bind, drain
 
 
 class TestScheduling:

@@ -4,7 +4,6 @@ import pytest
 
 from repro.net.address import IPv4Address, Prefix
 from repro.net.packet import IPHeader, Packet
-from repro.routing.router import Router
 from repro.routing.spf import advertised_prefixes, converge, spf_paths
 from repro.topology import (
     Network,

@@ -8,7 +8,7 @@ from repro.mpls.lsr import Lsr
 from repro.net.address import IPv4Address, Prefix
 from repro.net.packet import IPHeader, Packet
 from repro.routing.spf import converge
-from repro.topology import Network, build_backbone
+from repro.topology import Network
 from repro.vpn.bgp import MpBgp
 from repro.vpn.pe import PeRouter
 from repro.vpn.provision import VpnProvisioner
