@@ -1,0 +1,13 @@
+"""Unified data plane: one staged forwarding engine for Router/LSR/PE.
+
+``ForwardingPipeline`` owns the per-packet control flow (ingress →
+vrf-demux → label-op → lookup → qos-mark → egress); ``GenCache`` provides
+the generation-stamped exact-match caches that front the LPM trie, the
+LFIB, and the VRF tables.  See ``docs/ARCHITECTURE.md`` §"Data-plane
+pipeline".
+"""
+
+from repro.dataplane.caches import GenCache
+from repro.dataplane.pipeline import ForwardingPipeline, flow_hash
+
+__all__ = ["ForwardingPipeline", "GenCache", "flow_hash"]

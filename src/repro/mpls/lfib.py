@@ -61,17 +61,27 @@ class LfibEntry:
 
 
 class Lfib:
-    """Exact-match incoming-label table."""
+    """Exact-match incoming-label table.
+
+    ``generation`` increments on every mutation so the data plane's label
+    cache can detect churn (LDP reset, FRR bypass activation/restore)
+    before serving a memoized entry.
+    """
 
     def __init__(self) -> None:
         self._entries: dict[int, LfibEntry] = {}
         self.lookups = 0
+        self.generation = 0
 
     def install(self, in_label: int, entry: LfibEntry) -> None:
         self._entries[in_label] = entry
+        self.generation += 1
 
     def remove(self, in_label: int) -> bool:
-        return self._entries.pop(in_label, None) is not None
+        removed = self._entries.pop(in_label, None) is not None
+        if removed:
+            self.generation += 1
+        return removed
 
     def lookup(self, in_label: int) -> Optional[LfibEntry]:
         self.lookups += 1
@@ -112,13 +122,20 @@ class FtnTable:
 
     def __init__(self) -> None:
         self._map: dict[Prefix, Nhlfe] = {}
+        # Generation counter for the flow/tunnel caches: an imposition
+        # decision derived from this table dies when a binding changes.
+        self.generation = 0
 
     def bind(self, prefix: Prefix | str, nhlfe: Nhlfe) -> None:
         self._map[Prefix.parse(prefix) if isinstance(prefix, str) else prefix] = nhlfe
+        self.generation += 1
 
     def unbind(self, prefix: Prefix | str) -> bool:
         key = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
-        return self._map.pop(key, None) is not None
+        removed = self._map.pop(key, None) is not None
+        if removed:
+            self.generation += 1
+        return removed
 
     def lookup(self, prefix: Prefix) -> Optional[Nhlfe]:
         return self._map.get(prefix)

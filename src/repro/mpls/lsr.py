@@ -7,18 +7,20 @@ the matched FEC has a bound NHLFE — get labels *imposed* and enter an LSP.
 This dual behaviour is exactly the mixed deployment of the paper's Fig. 4:
 the same box label-switches traffic that has a tunnel and IP-routes traffic
 that does not.
+
+The per-packet logic lives in the shared
+:class:`~repro.dataplane.ForwardingPipeline`; this class merely enables
+the pipeline's label-op and qos-mark stages and owns the MPLS tables.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.mpls.label import IMPLICIT_NULL, LabelSpace
-from repro.mpls.lfib import FtnTable, LabelOp, Lfib, Nhlfe
-from repro.net.drops import DropReason
+from repro.mpls.label import LabelSpace
+from repro.mpls.lfib import FtnTable, Lfib, Nhlfe
 from repro.net.packet import Packet
 from repro.routing.router import Router
-from repro.sim.engine import bind
 
 __all__ = ["Lsr"]
 
@@ -41,123 +43,11 @@ class Lsr(Router):
         # EXP (the RFC 3270 edge behaviour, claim C6); an int forces a fixed
         # value (0 models a QoS-blind edge for the ablations).
         self.impose_exp: int | None = None
+        # Turn on the pipeline's label-op stage: same engine as the plain
+        # Router, now with LFIB processing and FTN label imposition.
+        self.pipeline.enable_mpls(self.lfib, self.ftn)
 
     # ------------------------------------------------------------------
-    def handle(self, pkt: Packet, ifname: str) -> None:
-        if pkt.mpls_stack:
-            self.after_processing(
-                self.processing.label_lookup_s, bind(self._handle_mpls, pkt)
-            )
-            return
-        if self.owns(pkt.ip.dst):
-            self.deliver_local(pkt)
-            return
-        self.after_processing(
-            self.processing.ip_lookup_s, bind(self._forward_ip_or_impose, pkt)
-        )
-
-    # ------------------------------------------------------------------
-    # MPLS fast path
-    # ------------------------------------------------------------------
-    def _handle_mpls(self, pkt: Packet) -> None:
-        top = pkt.top_label
-        assert top is not None
-        fl = self.trace.flight
-        entry = self.lfib.lookup(top.label)
-        if entry is None:
-            self.drop(pkt, DropReason.NO_LABEL)
-            return
-        if entry.op is LabelOp.SWAP:
-            if pkt.decrement_ttl() <= 0:
-                self.drop(pkt, DropReason.TTL)
-                return
-            if fl is not None:
-                fl.label_op(self.sim.now, self.name, pkt, "swap",
-                            old=top.label, new=entry.out_label)
-            pkt.swap_label(entry.out_label)  # EXP is preserved across swaps
-            self.transmit(pkt, entry.out_ifname)
-        elif entry.op is LabelOp.POP:
-            if pkt.decrement_ttl() <= 0:
-                self.drop(pkt, DropReason.TTL)
-                return
-            if fl is not None:
-                fl.label_op(self.sim.now, self.name, pkt, "pop", old=top.label)
-            pkt.pop_label()
-            self.transmit(pkt, entry.out_ifname)
-        elif entry.op is LabelOp.POP_PROCESS:
-            if fl is not None:
-                fl.label_op(self.sim.now, self.name, pkt, "pop", old=top.label)
-            pkt.pop_label()
-            if pkt.mpls_stack:
-                self._handle_mpls(pkt)  # inner label is also ours
-            elif self.owns(pkt.ip.dst):
-                self.deliver_local(pkt)
-            else:
-                self._forward_ip_or_impose(pkt)
-        elif entry.op is LabelOp.SWAP_PUSH:
-            # FRR local repair: restore the label the merge point expects,
-            # then tunnel it over the bypass LSP.  EXP is copied onto the
-            # bypass entry so the detour keeps the class.
-            if pkt.decrement_ttl() <= 0:
-                self.drop(pkt, DropReason.TTL)
-                return
-            exp = pkt.top_label.exp if pkt.top_label else 0
-            if fl is not None:
-                fl.label_op(self.sim.now, self.name, pkt, "swap",
-                            old=top.label, new=entry.out_label)
-                fl.label_op(self.sim.now, self.name, pkt, "push",
-                            new=entry.push_label)
-            pkt.swap_label(entry.out_label)
-            pkt.push_label(entry.push_label, exp=exp)
-            self.transmit(pkt, entry.out_ifname)
-        elif entry.op is LabelOp.VPN:
-            if fl is not None:
-                fl.label_op(self.sim.now, self.name, pkt, "pop", old=top.label)
-            pkt.pop_label()
-            if self.vpn_deliver is None:
-                self.drop(pkt, DropReason.VPN_LABEL_NO_VRF)
-            else:
-                self.vpn_deliver(pkt, entry.vrf)  # type: ignore[arg-type]
-        else:  # pragma: no cover - enum is closed
-            self.drop(pkt, DropReason.BAD_LFIB_OP)
-
-    # ------------------------------------------------------------------
-    # IP slow path with label imposition
-    # ------------------------------------------------------------------
-    def _forward_ip_or_impose(self, pkt: Packet) -> None:
-        if pkt.decrement_ttl() <= 0:
-            self.drop(pkt, DropReason.TTL)
-            return
-        match = self.fib.lookup_prefix(pkt.ip.dst)
-        if match is None:
-            self.drop(pkt, DropReason.NO_ROUTE)
-            return
-        prefix, route = match
-        nhlfe = self.ftn.lookup(prefix)
-        if nhlfe is not None:
-            self.impose(pkt, nhlfe)
-            return
-        self.dispatch(pkt, route)
-
     def impose(self, pkt: Packet, nhlfe: Nhlfe) -> None:
-        """Push the NHLFE's label stack and transmit.
-
-        Implicit-null labels in the stack are not pushed (PHP on a one-hop
-        tunnel).  EXP comes from the packet's DSCP unless ``impose_exp``
-        pins a fixed value.
-        """
-        from repro.qos.dscp import dscp_to_exp
-
-        exp = (
-            self.impose_exp
-            if self.impose_exp is not None
-            else dscp_to_exp(pkt.ip.dscp)
-        )
-        fl = self.trace.flight
-        for label in nhlfe.labels:
-            if label == IMPLICIT_NULL:
-                continue
-            if fl is not None:
-                fl.label_op(self.sim.now, self.name, pkt, "push", new=label)
-            pkt.push_label(label, exp=exp)
-        self.transmit(pkt, nhlfe.out_ifname)
+        """Push the NHLFE's label stack and transmit (pipeline qos-mark stage)."""
+        self.pipeline.impose(pkt, nhlfe)

@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.drops import DropReason
 from repro.net.packet import Packet
-from repro.sim.engine import Simulator, bind
+from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -77,9 +77,7 @@ class Link:
         """Propagate ``pkt`` to the far end (silently lost if link is down)."""
         if not self.up:
             return
-        self.sim.schedule(
-            self.delay_s, bind(self.dst_node.receive, pkt, self.dst_ifname)
-        )
+        self.sim.schedule_call(self.delay_s, self.dst_node.receive, pkt, self.dst_ifname)
 
 
 class Interface:
@@ -214,7 +212,7 @@ class Interface:
         self._busy = True
         tx_time = pkt.wire_bytes * 8.0 / self.rate_bps
         self.stats.busy_time += tx_time
-        self.sim.schedule(tx_time, bind(self._transmit_done, pkt))
+        self.sim.schedule_call(tx_time, self._transmit_done, pkt)
 
     def _transmit_done(self, pkt: Packet) -> None:
         self.stats.tx_packets += 1

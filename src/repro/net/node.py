@@ -190,8 +190,10 @@ class Node:
 
         Zero-cost processing bypasses the scheduler entirely — the common
         case — so experiments that do not model CPU pay nothing for the
-        hook (see the hpc-parallel guidance: optimize the measured hot
-        path, keep everything else simple).
+        hook.  The forwarding pipeline (``repro.dataplane``) applies the
+        same rule inline with ``Simulator.schedule_call`` to avoid the
+        per-packet closure; this thunk-based variant is kept for gateways
+        and tests that already hold a zero-argument callable.
         """
         if cost_s <= 0.0:
             fn()

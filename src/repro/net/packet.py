@@ -131,6 +131,9 @@ class Packet:
     vc_id: int | None = None
     uid: int = field(default_factory=lambda: next(_packet_ids))
     hops: int = 0
+    # Memoized CRC32 ECMP key (repro.dataplane.flow_hash).  Never
+    # invalidated: the 5-tuple is immutable for the packet's lifetime.
+    flow_hash_cache: int | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Size accounting

@@ -92,6 +92,7 @@ class KernelProfiler:
     # ------------------------------------------------------------------
     def _run_event(self, event: Event) -> None:
         cb = event.callback
+        args = event.args
         kind = self._resolve(cb)
         counts = self._counts.get(kind)
         if counts is None:
@@ -99,10 +100,10 @@ class KernelProfiler:
         counts[0] += 1
         self._events += 1
         if self._events % self.sample_every:
-            cb()
+            cb(*args)
             return
         t0 = perf_counter()
-        cb()
+        cb(*args)
         dt = perf_counter() - t0
         counts[1] += 1
         self._sampled += 1

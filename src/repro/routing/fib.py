@@ -63,12 +63,19 @@ class _TrieNode:
 
 
 class Fib:
-    """Binary-trie longest-prefix-match forwarding table."""
+    """Binary-trie longest-prefix-match forwarding table.
+
+    ``generation`` increments on every mutation (install/withdraw); the
+    data plane's flow caches compare it before serving a memoized
+    decision, so SPF reconvergence or route churn can never leave a stale
+    forwarding entry in service (see ``repro.dataplane.caches``).
+    """
 
     def __init__(self) -> None:
         self._root = _TrieNode()
         self._routes: dict[Prefix, RouteEntry] = {}
         self.lookups = 0
+        self.generation = 0
 
     # ------------------------------------------------------------------
     def install(self, prefix: Prefix | str, entry: RouteEntry) -> None:
@@ -88,6 +95,7 @@ class Fib:
                 node = node.left
         node.entry = entry
         self._routes[pfx] = entry
+        self.generation += 1
 
     def withdraw(self, prefix: Prefix | str) -> bool:
         """Remove the route for ``prefix``; returns False when absent.
@@ -99,6 +107,7 @@ class Fib:
         if pfx not in self._routes:
             return False
         del self._routes[pfx]
+        self.generation += 1
         node: _TrieNode | None = self._root
         net = pfx.network
         for depth in range(pfx.length):

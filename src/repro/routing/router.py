@@ -4,30 +4,21 @@ This is the baseline data plane of claim C2/C4 — every packet, at every
 hop, gets a full header inspection and an LPM lookup against the FIB.  The
 LSR in :mod:`repro.mpls.lsr` subclasses this so that an MPLS backbone can
 still route unlabeled packets (the mixed deployment of the paper's Fig. 4).
+
+Forwarding itself lives in :class:`repro.dataplane.ForwardingPipeline`;
+this class composes the pipeline with just the lookup and dispatch stages
+(no label-op, no VRF demux).  ``flow_hash`` is re-exported from
+``repro.dataplane`` for backwards compatibility.
 """
 
 from __future__ import annotations
 
-import zlib
-
-from repro.net.drops import DropReason
+from repro.dataplane.pipeline import ForwardingPipeline, flow_hash
 from repro.net.node import Node
 from repro.net.packet import Packet
 from repro.routing.fib import Fib, RouteEntry
-from repro.sim.engine import bind
 
 __all__ = ["Router", "flow_hash"]
-
-
-def flow_hash(pkt: Packet) -> int:
-    """Stable per-flow hash over the 5-tuple (the classic ECMP key).
-
-    CRC32 rather than ``hash()`` so path selection is identical across
-    processes and Python versions — determinism again.
-    """
-    ip = pkt.ip
-    key = f"{ip.src.value}|{ip.dst.value}|{ip.proto}|{ip.src_port}|{ip.dst_port}"
-    return zlib.crc32(key.encode("ascii"))
 
 
 class Router(Node):
@@ -39,43 +30,19 @@ class Router(Node):
         # Extra prefixes this router injects into the IGP (host subnets it
         # fronts, redistributed statics...).
         self.advertised_prefixes: set = set()
+        # One staged forwarding engine, shared (by composition) with the
+        # Lsr and PeRouter subclasses — see repro.dataplane.pipeline.
+        self.pipeline = ForwardingPipeline(self, self.fib)
 
     # ------------------------------------------------------------------
     def handle(self, pkt: Packet, ifname: str) -> None:
-        if pkt.mpls_stack:
-            # Labeled packet at a non-MPLS router: the deployment scenario of
-            # Fig. 4 never lets this happen (LSPs terminate at LSR edges);
-            # treat it as a configuration error rather than silently routing.
-            self.drop(pkt, DropReason.LABELED_AT_IP_ROUTER)
-            return
-        if self.owns(pkt.ip.dst):
-            self.deliver_local(pkt)
-            return
-        self.after_processing(
-            self.processing.ip_lookup_s, bind(self._forward_ip, pkt)
-        )
-
-    def _forward_ip(self, pkt: Packet) -> None:
-        if pkt.decrement_ttl() <= 0:
-            self.drop(pkt, DropReason.TTL)
-            return
-        entry = self.fib.lookup(pkt.ip.dst)
-        if entry is None:
-            self.drop(pkt, DropReason.NO_ROUTE)
-            return
-        self.dispatch(pkt, entry)
+        self.pipeline.ingress(pkt, ifname)
 
     def dispatch(self, pkt: Packet, entry: RouteEntry) -> None:
-        """Send ``pkt`` out the interface selected by ``entry``.
+        """Send ``pkt`` out the interface selected by ``entry`` (ECMP-aware).
 
-        With ECMP alternates present, the egress is chosen by the flow
-        hash — all packets of one flow share a path (no reordering), while
-        distinct flows spread across the equal-cost set.  Split out so
-        subclasses (LSR/PE) can reuse the IP slow path.
+        Kept as a public helper for gateways that resolve routes
+        themselves (e.g. the IPsec gateway); delegates to the pipeline's
+        egress-dispatch stage.
         """
-        if entry.alternates:
-            paths = entry.all_paths
-            out_ifname, _nh = paths[flow_hash(pkt) % len(paths)]
-            self.transmit(pkt, out_ifname)
-            return
-        self.transmit(pkt, entry.out_ifname)
+        self.pipeline.dispatch(pkt, entry)

@@ -37,15 +37,21 @@ class Event:
     time:
         Absolute simulation time (seconds) at which the callback fires.
     callback:
-        Zero-argument callable invoked when the event fires.  Arguments are
-        bound with ``functools.partial`` or closures by the caller.
+        Callable invoked when the event fires.  Zero-argument callables
+        (closures, ``bind`` products) have empty ``args``; callables
+        scheduled through :meth:`Simulator.schedule_call` carry their
+        positional arguments here instead of in a closure, which keeps
+        the per-hop hot path allocation-free.
+    args:
+        Positional arguments applied to ``callback`` at fire time.
     cancelled:
         Cancellation flag; cancelled events stay in the heap but are skipped
         when popped (lazy deletion — O(1) cancel).
     """
 
     time: float
-    callback: Callable[[], None]
+    callback: Callable[..., None]
+    args: tuple = ()
     cancelled: bool = False
 
     def cancel(self) -> None:
@@ -129,6 +135,27 @@ class Simulator:
         heapq.heappush(self._heap, (time, self._seq, event))
         return event
 
+    def schedule_call(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Event:
+        """Schedule ``callback(*args)`` without allocating a closure.
+
+        The hot-path alternative to ``schedule(delay, bind(fn, ...))``:
+        arguments ride on the :class:`Event` itself, so per-packet
+        scheduling (link propagation, transmit completion, modeled
+        processing cost) creates no closure objects.  The kernel profiler
+        attributes these events to ``callback`` directly — no unwrapping.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        time = self._now + delay
+        event = Event(time, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, event))
+        return event
+
     def call_soon(self, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at the current time, after pending same-time events."""
         return self.schedule(0.0, callback)
@@ -179,7 +206,11 @@ class Simulator:
                 self._now = time
                 hook = self._profile_hook
                 if hook is None:
-                    event.callback()
+                    args = event.args
+                    if args:
+                        event.callback(*args)
+                    else:
+                        event.callback()
                 else:
                     hook(event)
                 self._events_processed += 1
@@ -206,7 +237,11 @@ class Simulator:
             self._now = time
             hook = self._profile_hook
             if hook is None:
-                event.callback()
+                args = event.args
+                if args:
+                    event.callback(*args)
+                else:
+                    event.callback()
             else:
                 hook(event)
             self._events_processed += 1

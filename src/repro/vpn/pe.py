@@ -11,22 +11,23 @@ isolation argument (claim C5).
 QoS at the edge (claim C6): when ``qos_exp_mapping`` is on, the PE copies
 the customer's DSCP into the EXP bits of both imposed labels, so the core
 can schedule on EXP without ever parsing the customer header.
+
+Data-plane mechanics (VRF demux, customer lookup, two-level imposition,
+egress delivery) live in the shared
+:class:`~repro.dataplane.ForwardingPipeline`; this class enables its
+vrf-demux stage and keeps the control plane (VRF provisioning, circuit
+binding).
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.mpls.label import IMPLICIT_NULL
 from repro.mpls.lfib import LabelOp, LfibEntry
 from repro.mpls.lsr import Lsr
-from repro.net.address import Prefix
-from repro.net.drops import DropReason
 from repro.net.packet import Packet
-from repro.qos.dscp import dscp_to_exp
-from repro.sim.engine import bind
 from repro.vpn.rd_rt import RouteDistinguisher, RouteTarget
-from repro.vpn.vrf import Vrf, VrfRoute
+from repro.vpn.vrf import Vrf
 
 __all__ = ["PeRouter"]
 
@@ -44,6 +45,9 @@ class PeRouter(Lsr):
         # the E9c ablation shows the resulting last-hop QoS hole).
         self.exp_mode = "both"
         self.vpn_deliver = self._vpn_deliver
+        # Turn on the pipeline's vrf-demux stage: customer packets arriving
+        # on attachment circuits are looked up in their VRF only.
+        self.pipeline.enable_vrf_demux(self._vrf_of_circuit, self.vrfs)
 
     # ------------------------------------------------------------------
     # Control plane / provisioning
@@ -88,73 +92,11 @@ class PeRouter(Lsr):
         return self._vrf_of_circuit.get(ifname)
 
     # ------------------------------------------------------------------
-    # Data plane
+    # Data plane (delegated to the pipeline)
     # ------------------------------------------------------------------
-    def handle(self, pkt: Packet, ifname: str) -> None:
-        vrf = self._vrf_of_circuit.get(ifname)
-        if vrf is not None and not pkt.mpls_stack:
-            # Customer packet entering its VPN at this PE.
-            self.after_processing(
-                self.processing.ip_lookup_s, bind(self._handle_customer, pkt, vrf)
-            )
-            return
-        super().handle(pkt, ifname)
-
-    def _handle_customer(self, pkt: Packet, vrf: Vrf) -> None:
-        fa = self.trace.flows
-        if fa is not None:
-            fa.ingress(self.name, vrf.name, pkt)
-        if pkt.decrement_ttl() <= 0:
-            self.drop(pkt, DropReason.TTL)
-            return
-        route = vrf.lookup(pkt.ip.dst)
-        if route is None:
-            self.drop(pkt, DropReason.NO_VRF_ROUTE)
-            return
-        if route.kind == "local":
-            # Site-to-site through one PE (both sites on this PE).
-            self.transmit(pkt, route.out_ifname)  # type: ignore[arg-type]
-            return
-        self._forward_remote(pkt, route)
-
-    def _forward_remote(self, pkt: Packet, route: VrfRoute) -> None:
-        assert route.remote_pe is not None and route.vpn_label is not None
-        exp = dscp_to_exp(pkt.ip.dscp) if self.qos_exp_mapping else 0
-        inner_exp = exp if self.exp_mode == "both" else 0
-        fl = self.trace.flight
-        if fl is not None:
-            fl.label_op(self.sim.now, self.name, pkt, "push", new=route.vpn_label)
-        pkt.push_label(route.vpn_label, exp=inner_exp)
-        # Resolve the tunnel to the egress PE's loopback through the FTN
-        # (an LDP binding or a TE tunnel autoroute).
-        tunnel = self.ftn.lookup(Prefix.of(route.remote_pe, 32))
-        if tunnel is None:
-            pkt.pop_label()
-            self.drop(pkt, DropReason.NO_TUNNEL)
-            return
-        for label in tunnel.labels:
-            if label != IMPLICIT_NULL:
-                if fl is not None:
-                    fl.label_op(self.sim.now, self.name, pkt, "push", new=label)
-                pkt.push_label(label, exp=exp)
-        self.transmit(pkt, tunnel.out_ifname)
-
     def _vpn_deliver(self, pkt: Packet, vrf_name: str) -> None:
         """Egress side: tunnel label already removed, VPN label popped."""
-        vrf = self.vrfs.get(vrf_name)
-        if vrf is None:
-            self.drop(pkt, DropReason.UNKNOWN_VRF)
-            return
-        fa = self.trace.flows
-        if fa is not None:
-            fa.egress(self.name, vrf.name, pkt)
-        route = vrf.lookup(pkt.ip.dst)
-        if route is None or route.kind != "local":
-            # Hairpinning remote->remote through an egress PE would be a
-            # provisioning loop; refuse rather than bounce across the core.
-            self.drop(pkt, DropReason.NO_VRF_ROUTE)
-            return
-        self.transmit(pkt, route.out_ifname)  # type: ignore[arg-type]
+        self.pipeline.vpn_egress(pkt, vrf_name)
 
     # ------------------------------------------------------------------
     def vrf_state_entries(self) -> int:

@@ -131,6 +131,16 @@ class Vrf:
         return True
 
     # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Mutation counter for the PE's per-VRF flow caches.
+
+        Every route change goes through ``_install``/``withdraw`` and thus
+        through the inner FIB, whose generation counts both.
+        """
+        return self._fib.generation
+
+    # ------------------------------------------------------------------
     def lookup(self, addr: IPv4Address) -> Optional[VrfRoute]:
         """Longest-prefix match inside this VRF only."""
         match = self._fib.lookup_prefix(addr)
