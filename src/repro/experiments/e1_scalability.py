@@ -20,6 +20,7 @@ and control messages.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Sequence
 
 from repro.mpls.lsr import Lsr
@@ -52,9 +53,13 @@ def _overlay_network(n_sites: int, seed: int = 11) -> tuple[Network, list[str]]:
 
 def overlay_census(n_sites: int, seed: int = 11) -> dict[str, Any]:
     """Provision the full-mesh overlay and count everything."""
+    t0 = perf_counter()
     net, ce_names = _overlay_network(n_sites, seed)
     builder = OverlayVpnBuilder(net)
-    result = builder.build_full_mesh(ce_names)
+    # Paper-scale runs (N=1000 → 999 000 VCs) keep the census but not one
+    # VirtualCircuit record per VC.
+    result = builder.build_full_mesh(ce_names, keep_circuits=False)
+    wall_s = perf_counter() - t0
     backbone_state = sum(
         entries
         for name, entries in result.state_entries_by_node.items()
@@ -68,6 +73,7 @@ def overlay_census(n_sites: int, seed: int = 11) -> dict[str, Any]:
         "state_backbone": backbone_state,
         "state_max_node": result.max_state_on_one_node,
         "signaling_msgs": result.signaling_messages,
+        "wall_s": wall_s,
     }
 
 
@@ -84,6 +90,7 @@ def _mpls_network(seed: int = 13) -> tuple[Network, dict[str, Lsr]]:
 
 def mpls_census(n_sites: int, seed: int = 13) -> dict[str, Any]:
     """Provision the same N sites as a BGP/MPLS VPN and count state."""
+    t0 = perf_counter()
     net, nodes = _mpls_network(seed)
     prov = VpnProvisioner(net)
     vpn = prov.create_vpn("corp")
@@ -93,6 +100,7 @@ def mpls_census(n_sites: int, seed: int = 13) -> dict[str, Any]:
     ldp = run_ldp(net)
     bgp = prov.converge_bgp()
     census = prov.state_census()
+    wall_s = perf_counter() - t0
     # Core (P) routers hold *zero* per-VPN state — only LDP transport state
     # that is shared by every VPN; count it separately to make that visible.
     p_state = sum(
@@ -108,13 +116,19 @@ def mpls_census(n_sites: int, seed: int = 13) -> dict[str, Any]:
         "bgp_updates": bgp.updates_sent,
         "ldp_sessions": ldp.sessions,
         "ldp_msgs": ldp.mapping_messages,
+        "wall_s": wall_s,
     }
 
 
 def run_e1(
     site_counts: Sequence[int] = (10, 50, 100, 200),
 ) -> tuple[list[dict[str, Any]], dict[str, Any]]:
-    """The E1 table: one row per N, overlay vs MPLS side by side."""
+    """The E1 table: one row per N, overlay vs MPLS side by side.
+
+    Pass ``site_counts=(500, 1000)`` for the paper-scale runs; the census
+    wall-clock lands in each row so the benchmark suite can compare the
+    overlay's O(N²) provisioning time against the MPLS VPN's O(N).
+    """
     rows: list[dict[str, Any]] = []
     raw: dict[str, Any] = {"overlay": {}, "mpls": {}}
     for n in site_counts:
@@ -134,6 +148,8 @@ def run_e1(
                 "mpls_core_vpn_state": mp["core_per_vpn_state"],
                 "bgp_updates": mp["bgp_updates"],
                 "ldp_msgs": mp["ldp_msgs"],
+                "overlay_wall_s": ov["wall_s"],
+                "mpls_wall_s": mp["wall_s"],
             }
         )
     return rows, raw

@@ -20,16 +20,18 @@ E9c measures the difference.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from dataclasses import dataclass, field
+from math import inf
 from typing import TYPE_CHECKING
 
 from repro.mpls.label import EXPLICIT_NULL, IMPLICIT_NULL
 from repro.mpls.lfib import LabelOp, LfibEntry, Nhlfe
 from repro.mpls.lsr import Lsr
 from repro.net.address import Prefix
-from repro.routing.spf import _deterministic_dijkstra, _domain_graph, _egress_towards
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.routing.spf_core import DomainView
     from repro.topology import Network
 
 __all__ = ["LdpResult", "run_ldp", "reset_ldp"]
@@ -92,16 +94,18 @@ def run_ldp(
     if php and use_explicit_null:
         raise ValueError("php and explicit-null are mutually exclusive")
 
-    g = _domain_graph(net, domain)
+    view = net.domain_view(domain)
     lsrs: dict[str, Lsr] = {
         name: net.nodes[name]  # type: ignore[misc]
-        for name in g.nodes
+        for name in view.order_names
         if isinstance(net.nodes[name], Lsr)
     }
     result = LdpResult()
     # LDP sessions: one per adjacency where both ends are LSRs.
     session_pairs = [
-        (u, v) for u, v in g.edges if u in lsrs and v in lsrs
+        (view.names[i], view.names[j])
+        for i, j in view.edges
+        if view.names[i] in lsrs and view.names[j] in lsrs
     ]
     result.sessions = len(session_pairs)
     net.counters.incr("ldp.sessions", len(session_pairs))
@@ -127,11 +131,18 @@ def run_ldp(
         for p in lsr.advertised_prefixes:
             owner_of.setdefault(p, name)
 
+    # Batched install: every LFIB/FTN write for the whole pass lands per
+    # node in one generation bump (nothing consults the tables mid-run).
+    pending_lfib: dict[str, list[tuple[int, LfibEntry]]] = defaultdict(list)
+    pending_ftn: dict[str, list[tuple[Prefix, Nhlfe]]] = defaultdict(list)
     for fec in fecs:
         egress_name = owner_of.get(fec)
         if egress_name is None:
             continue  # FEC not originated by an LSR in this domain
-        bindings = _distribute_one(net, g, lsrs, fec, egress_name, php, use_explicit_null, result)
+        bindings = _distribute_one(
+            view, lsrs, fec, egress_name, php, use_explicit_null, result,
+            pending_lfib, pending_ftn,
+        )
         result.bindings[fec] = bindings
         # Liberal retention: every LSR advertises its binding to every
         # neighbour LSR; the egress advertises too.
@@ -143,6 +154,10 @@ def run_ldp(
         )
         result.mapping_messages += msgs
         net.counters.incr("ldp.mapping_msgs", msgs)
+    for name, items in pending_lfib.items():
+        lsrs[name].lfib.install_many(items)
+    for name, items in pending_ftn.items():
+        lsrs[name].ftn.bind_many(items)
     net.trace.publish(
         "ldp.converged",
         net.sim.now,
@@ -156,16 +171,24 @@ def run_ldp(
 
 
 def _distribute_one(
-    net: "Network",
-    g,
+    view: "DomainView",
     lsrs: dict[str, Lsr],
     fec: Prefix,
     egress_name: str,
     php: bool,
     use_explicit_null: bool,
     result: LdpResult,
+    pending_lfib: dict[str, list[tuple[int, LfibEntry]]],
+    pending_ftn: dict[str, list[tuple[Prefix, Nhlfe]]],
 ) -> dict[str, int]:
-    """Install LFIB/FTN state for one FEC; returns node → incoming label."""
+    """Queue LFIB/FTN state for one FEC; returns node → incoming label.
+
+    Runs on the cached domain view: one memoized SPF per *node* for the
+    whole pass (the pre-PR implementation ran a fresh Dijkstra per
+    (FEC, node) pair).  Label allocation order — and therefore every label
+    value — matches the reference exactly.
+    """
+    lsp_id = f"ldp:{fec}"
     egress = lsrs[egress_name]
     bindings: dict[str, int] = {}
 
@@ -173,14 +196,16 @@ def _distribute_one(
         bindings[egress_name] = IMPLICIT_NULL
     elif use_explicit_null:
         bindings[egress_name] = EXPLICIT_NULL
-        egress.lfib.install(
-            EXPLICIT_NULL, LfibEntry(LabelOp.POP_PROCESS, lsp_id=f"ldp:{fec}")
+        pending_lfib[egress_name].append(
+            (EXPLICIT_NULL, LfibEntry(LabelOp.POP_PROCESS, lsp_id=lsp_id))
         )
         result.lfib_entries += 1
     else:
         label = egress.labels.allocate()
         bindings[egress_name] = label
-        egress.lfib.install(label, LfibEntry(LabelOp.POP_PROCESS, lsp_id=f"ldp:{fec}"))
+        pending_lfib[egress_name].append(
+            (label, LfibEntry(LabelOp.POP_PROCESS, lsp_id=lsp_id))
+        )
         result.lfib_entries += 1
 
     # Ordered control: a node may only advertise a binding once its own next
@@ -189,38 +214,46 @@ def _distribute_one(
     # and it naturally stops label distribution at non-MPLS routers in a
     # mixed backbone (Fig. 4): an LSR whose IGP next hop is a plain router
     # gets no binding and its upstream falls back to IP forwarding.
-    dist_from_egress, _ = _deterministic_dijkstra(g, egress_name)
+    idx = view.idx
+    names = view.names
+    ei = idx[egress_name]
+    dist_e = view.spf(ei)[0]
     order = sorted(
-        (name for name in lsrs if name != egress_name and name in dist_from_egress),
-        key=lambda n: (dist_from_egress[n], n),
+        (name for name in lsrs if name != egress_name and dist_e[idx[name]] != inf),
+        key=lambda n: (dist_e[idx[n]], n),
     )
     for name in order:
         lsr = lsrs[name]
-        _dist, paths = _deterministic_dijkstra(g, name)
-        if egress_name not in paths or len(paths[egress_name]) < 2:
+        ni = idx[name]
+        dist_n, pred_n, _disc = view.spf(ni)
+        if dist_n[ei] == inf:
             continue  # partitioned
-        nh_name = paths[egress_name][1]
+        # First hop toward the egress: walk the predecessor chain back from
+        # the egress until the node whose predecessor is this source.
+        j = ei
+        while pred_n[j] != ni:
+            j = pred_n[j]
+        nh_name = names[j]
         if nh_name not in bindings:
             continue  # next hop is not label-capable for this FEC
         bindings[name] = lsr.labels.allocate()
 
-        dl = g[name][nh_name]["duplex"]
-        out_ifname, _nh_addr = _egress_towards(dl, name)
+        out_ifname = view.nbr[ni][j][1]
         downstream = bindings[nh_name]
         if downstream == IMPLICIT_NULL:
-            entry = LfibEntry(LabelOp.POP, out_ifname=out_ifname, lsp_id=f"ldp:{fec}")
+            entry = LfibEntry(LabelOp.POP, out_ifname=out_ifname, lsp_id=lsp_id)
         else:
             entry = LfibEntry(
                 LabelOp.SWAP,
                 out_label=downstream,
                 out_ifname=out_ifname,
-                lsp_id=f"ldp:{fec}",
+                lsp_id=lsp_id,
             )
-        lsr.lfib.install(bindings[name], entry)
+        pending_lfib[name].append((bindings[name], entry))
         result.lfib_entries += 1
 
         # Every LSR can also act as ingress for this FEC: bind the FTN so
         # unlabeled packets entering here get the tunnel label.
-        lsr.ftn.bind(fec, Nhlfe(out_ifname, (downstream,), lsp_id=f"ldp:{fec}"))
+        pending_ftn[name].append((fec, Nhlfe(out_ifname, (downstream,), lsp_id=lsp_id)))
         result.ftn_entries += 1
     return bindings

@@ -77,6 +77,16 @@ class Lfib:
         self._entries[in_label] = entry
         self.generation += 1
 
+    def install_many(self, items: list[tuple[int, LfibEntry]]) -> int:
+        """Batch install with a single generation bump (LDP convergence
+        writes one entry per FEC; invalidating the label cache per entry
+        buys nothing).  Returns the number of entries installed."""
+        if not items:
+            return 0
+        self._entries.update(items)
+        self.generation += 1
+        return len(items)
+
     def remove(self, in_label: int) -> bool:
         removed = self._entries.pop(in_label, None) is not None
         if removed:
@@ -129,6 +139,14 @@ class FtnTable:
     def bind(self, prefix: Prefix | str, nhlfe: Nhlfe) -> None:
         self._map[Prefix.parse(prefix) if isinstance(prefix, str) else prefix] = nhlfe
         self.generation += 1
+
+    def bind_many(self, items: list[tuple[Prefix, Nhlfe]]) -> int:
+        """Batch bind with a single generation bump; returns the count."""
+        if not items:
+            return 0
+        self._map.update(items)
+        self.generation += 1
+        return len(items)
 
     def unbind(self, prefix: Prefix | str) -> bool:
         key = Prefix.parse(prefix) if isinstance(prefix, str) else prefix

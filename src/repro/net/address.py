@@ -45,6 +45,12 @@ class IPv4Address:
         if not 0 <= self.value <= 0xFFFFFFFF:
             raise AddressError(f"address out of range: {self.value:#x}")
 
+    def __hash__(self) -> int:
+        # The dataclass-generated hash allocates a (value,) tuple per call;
+        # addresses key FIB/VRF dicts on the control-plane hot path, so
+        # hash the int directly (identical equality semantics).
+        return hash(self.value)
+
     @classmethod
     def parse(cls, text: str | int | "IPv4Address") -> "IPv4Address":
         """Parse a dotted quad, an int, or pass through an address."""
@@ -97,6 +103,12 @@ class Prefix:
         masked = self.network & MASKS[self.length]
         if masked != self.network:
             object.__setattr__(self, "network", masked)
+
+    def __hash__(self) -> int:
+        # (network << 6) | length is injective over valid prefixes, so this
+        # is a perfect hash — and ~3x cheaper than the dataclass-generated
+        # tuple hash, which the route-install hot path felt.
+        return hash((self.network << 6) | self.length)
 
     @classmethod
     def parse(cls, text: str | "Prefix") -> "Prefix":

@@ -74,13 +74,20 @@ class Fib:
     def __init__(self) -> None:
         self._root = _TrieNode()
         self._routes: dict[Prefix, RouteEntry] = {}
+        # Leaf-node cache: the trie node a prefix terminates at.  Interior
+        # nodes are never pruned (see :meth:`withdraw`), so a cached leaf
+        # stays valid forever and re-installing a known prefix — what every
+        # reconvergence does for most routes — skips the per-bit walk.
+        self._leaf: dict[Prefix, _TrieNode] = {}
         self.lookups = 0
         self.generation = 0
 
     # ------------------------------------------------------------------
-    def install(self, prefix: Prefix | str, entry: RouteEntry) -> None:
-        """Insert or replace the route for ``prefix``."""
-        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+    def _leaf_node(self, pfx: Prefix) -> _TrieNode:
+        """The (possibly new) trie node ``pfx`` terminates at, cached."""
+        node = self._leaf.get(pfx)
+        if node is not None:
+            return node
         node = self._root
         net = pfx.network
         for depth in range(pfx.length):
@@ -93,31 +100,70 @@ class Fib:
                 if node.left is None:
                     node.left = _TrieNode()
                 node = node.left
-        node.entry = entry
+        self._leaf[pfx] = node
+        return node
+
+    def install(self, prefix: Prefix | str, entry: RouteEntry) -> None:
+        """Insert or replace the route for ``prefix``."""
+        pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
+        self._leaf_node(pfx).entry = entry
         self._routes[pfx] = entry
         self.generation += 1
+
+    def install_many(self, items: list[tuple[Prefix, RouteEntry]]) -> int:
+        """Install a batch of routes with a *single* generation bump.
+
+        The control plane installs hundreds of routes per convergence;
+        bumping the generation once per batch keeps the data plane's flow
+        caches from being invalidated route-by-route (they flush wholesale
+        on any generation change anyway) and skips the per-call prefix
+        parsing.  Returns the number of routes installed.
+        """
+        if not items:
+            return 0
+        leaf_get = self._leaf.get
+        leaf_node = self._leaf_node
+        routes = self._routes
+        for pfx, entry in items:
+            node = leaf_get(pfx)
+            if node is None:
+                node = leaf_node(pfx)
+            node.entry = entry
+            routes[pfx] = entry
+        self.generation += 1
+        return len(items)
 
     def withdraw(self, prefix: Prefix | str) -> bool:
         """Remove the route for ``prefix``; returns False when absent.
 
         Trie nodes are not pruned (withdrawals are rare in our scenarios and
-        stale interior nodes are harmless to correctness).
+        stale interior nodes are harmless to correctness) — which is also
+        what keeps the leaf-node cache sound.
         """
         pfx = Prefix.parse(prefix) if isinstance(prefix, str) else prefix
         if pfx not in self._routes:
             return False
         del self._routes[pfx]
         self.generation += 1
-        node: _TrieNode | None = self._root
-        net = pfx.network
-        for depth in range(pfx.length):
-            if node is None:
-                return False
-            bit = (net >> (31 - depth)) & 1
-            node = node.right if bit else node.left
-        if node is not None:
-            node.entry = None
+        self._leaf_node(pfx).entry = None
         return True
+
+    def withdraw_many(self, prefixes: list[Prefix]) -> int:
+        """Withdraw a batch of routes with a single generation bump.
+
+        Returns the number of routes actually removed (absent prefixes are
+        skipped, like :meth:`withdraw` returning False).
+        """
+        removed = 0
+        for pfx in prefixes:
+            if pfx not in self._routes:
+                continue
+            del self._routes[pfx]
+            removed += 1
+            self._leaf_node(pfx).entry = None
+        if removed:
+            self.generation += 1
+        return removed
 
     # ------------------------------------------------------------------
     def lookup(self, addr: IPv4Address | int) -> Optional[RouteEntry]:

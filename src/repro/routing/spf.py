@@ -15,10 +15,21 @@ that does see residual bandwidth lives in :mod:`repro.mpls.te`.
 Customer equipment (``node.domain != domain``) is excluded: its addresses
 may overlap between customers and must never enter the provider IGP
 (claim C5); reachability for them is the VPN layer's job.
+
+Since the control-plane fast path, all graph work runs on the network's
+cached :class:`~repro.routing.spf_core.DomainView` (integer-indexed,
+generation-stamped) instead of a networkx graph rebuilt per call, routes
+land in the FIB through batched installs, and :func:`reconverge` is
+*incremental*: it diffs the edge set against the snapshot of the last
+convergence and recomputes only the sources whose shortest-path trees the
+change can touch.  FIB contents are bit-identical to the reference
+implementation (``repro.routing.reference``); ``tests/test_spf_parity.py``
+holds that equivalence.
 """
 
 from __future__ import annotations
 
+from math import inf
 from typing import TYPE_CHECKING
 
 import networkx as nx
@@ -26,8 +37,16 @@ import networkx as nx
 from repro.net.address import IPv4Address, Prefix
 from repro.routing.fib import RouteEntry
 from repro.routing.router import Router
+from repro.routing.spf_core import (
+    TIE_EPS,
+    SpfState,
+    costs_equal,
+    dijkstra_pred,
+    first_hop_array,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (topology -> routing)
+    from repro.routing.spf_core import DomainView
     from repro.topology import DuplexLink, Network
 
 __all__ = ["converge", "spf_paths", "advertised_prefixes"]
@@ -48,33 +67,91 @@ def advertised_prefixes(router: "Router") -> list[Prefix]:
 
 
 def _domain_graph(net: "Network", domain: str) -> nx.Graph:
+    """networkx export of the cached domain view (CSPF/IntServ consumers)."""
+    view = net.domain_view(domain)
     g = nx.Graph()
-    for name, node in net.nodes.items():
-        if isinstance(node, Router) and node.domain == domain:
-            g.add_node(name)
-    for dl in net.duplex_links:
-        if not (dl.link_ab.up and dl.link_ba.up):
-            continue  # failed links leave the topology (what flooding learns)
-        if dl.a.name in g and dl.b.name in g:
-            # Parallel links: keep the lowest metric (nx.Graph is simple).
-            if g.has_edge(dl.a.name, dl.b.name):
-                if g[dl.a.name][dl.b.name]["metric"] <= dl.metric:
-                    continue
-            g.add_edge(dl.a.name, dl.b.name, metric=dl.metric, duplex=dl)
+    g.add_nodes_from(view.order_names)
+    names = view.names
+    for (i, j), metric in view.edges.items():
+        g.add_edge(names[i], names[j], metric=metric, duplex=view.duplex[(i, j)])
     return g
 
 
 def _egress_towards(dl: "DuplexLink", src_name: str) -> tuple[str, IPv4Address]:
     """(out_ifname, next_hop_addr) for ``src`` using duplex link ``dl``."""
     if dl.a.name == src_name:
-        for addr, ifname in dl.b.addresses.items():
-            if ifname == dl.if_ba.name:
-                return dl.if_ab.name, addr
-    else:
-        for addr, ifname in dl.a.addresses.items():
-            if ifname == dl.if_ab.name:
-                return dl.if_ba.name, addr
-    raise RuntimeError(f"no peer address on duplex link {dl.a.name}-{dl.b.name}")
+        if dl.egress_a is not None:  # precomputed at connect time
+            return dl.egress_a
+    elif dl.egress_b is not None:
+        return dl.egress_b
+    from repro.routing.spf_core import _egress_scan
+
+    return _egress_scan(dl, src_name)
+
+
+def _install_spf_for_source(
+    view: "DomainView", si: int, prefixes_by_idx: list[list[Prefix]]
+) -> list[tuple[Prefix, RouteEntry]]:
+    """The (prefix, entry) batch one source's SPF run wants installed.
+
+    Destinations are iterated in Dijkstra *discovery order* — the
+    reference implementation's ``paths`` dict order — because prefixes
+    advertised by several routers (link /30s) resolve last-writer-wins.
+    """
+    dist, pred, disc = view.spf(si)
+    nbr = view.nbr[si]
+    src = view.routers[si]
+    cp = src.connected_prefixes
+    batch: list[tuple[Prefix, RouteEntry]] = [
+        (subnet, RouteEntry(ifname, None, 0.0, "connected"))
+        for subnet, ifname in cp.items()
+    ]
+    fh = first_hop_array(pred, disc, si, len(view.names))
+    for k in range(1, len(disc)):
+        v = disc[k]
+        info = nbr[fh[v]]
+        entry = RouteEntry(info[1], info[2], dist[v], "spf")
+        for prefix in prefixes_by_idx[v]:
+            if prefix in cp:
+                continue  # already covered by the connected route
+            batch.append((prefix, entry))
+    # Shared prefixes (link /30s advertised by both endpoints) appear twice;
+    # install_many writes in order, so last-writer-wins falls out — and the
+    # duplicate counts toward the return value exactly as the per-route
+    # implementation counted it.
+    return batch
+
+
+def _ecmp_entry_towards(
+    view: "DomainView", sj: int, dist
+) -> RouteEntry | None:
+    """Source ``sj``'s ECMP route entry toward the destination whose
+    distance array is ``dist`` (None when unreachable / no candidate)."""
+    ds = dist[sj]
+    if ds == inf:
+        return None
+    candidates: list[tuple[str, IPv4Address]] = []
+    nbr = view.nbr[sj]
+    for v, w in view.adj[sj]:
+        dv = dist[v]
+        if dv != inf and costs_equal(w + dv, ds):
+            info = nbr[v]
+            candidates.append((info[1], info[2]))
+    if not candidates:
+        return None
+    (primary_if, primary_nh), *alts = candidates
+    return RouteEntry(primary_if, primary_nh, ds, "spf", alternates=tuple(alts))
+
+
+def _save_state(net: "Network", domain: str, view: "DomainView", ecmp: bool,
+                prefixes_by_idx: list[list[Prefix]]) -> None:
+    net._spf_state[domain] = SpfState(
+        ecmp=ecmp,
+        names=view.names,
+        edges=dict(view.edges),
+        prefixes=[tuple(p) for p in prefixes_by_idx],
+        spf=dict(view._spf),
+    )
 
 
 def converge(net: "Network", domain: str = "core", ecmp: bool = False) -> int:
@@ -88,33 +165,13 @@ def converge(net: "Network", domain: str = "core", ecmp: bool = False) -> int:
     """
     if ecmp:
         return _converge_ecmp(net, domain)
-    g = _domain_graph(net, domain)
-    routers = {
-        name: net.nodes[name] for name in g.nodes
-    }
+    view = net.domain_view(domain)
+    prefixes_by_idx = [advertised_prefixes(r) for r in view.routers]
     installed = 0
-    for src_name, src in routers.items():
-        assert isinstance(src, Router)
-        # Connected routes first (most specific provenance).
-        for subnet, ifname in src.connected_prefixes.items():
-            src.fib.install(subnet, RouteEntry(ifname, None, 0.0, "connected"))
-            installed += 1
-        dist, paths = _deterministic_dijkstra(g, src_name)
-        for dst_name, path in paths.items():
-            if dst_name == src_name or len(path) < 2:
-                continue
-            nh_name = path[1]
-            dl = g[src_name][nh_name]["duplex"]
-            out_ifname, nh_addr = _egress_towards(dl, src_name)
-            dst = routers[dst_name]
-            assert isinstance(dst, Router)
-            for prefix in advertised_prefixes(dst):
-                if prefix in src.connected_prefixes:
-                    continue  # already covered by the connected route
-                src.fib.install(
-                    prefix, RouteEntry(out_ifname, nh_addr, dist[dst_name], "spf")
-                )
-                installed += 1
+    for si in view.order_idx:
+        batch = _install_spf_for_source(view, si, prefixes_by_idx)
+        installed += view.routers[si].fib.install_many(batch)
+    _save_state(net, domain, view, False, prefixes_by_idx)
     return installed
 
 
@@ -124,44 +181,40 @@ def _converge_ecmp(net: "Network", domain: str) -> int:
     For destination D, router S's equal-cost first hops are the neighbours
     v with ``metric(S,v) + dist_D(v) == dist_D(S)`` — the standard OSPF
     multipath condition.  Assumes symmetric link metrics (true for every
-    link :meth:`repro.topology.Network.connect` creates).
+    link :meth:`repro.topology.Network.connect` creates), which lets one
+    destination-rooted SPF serve every source.
     """
-    g = _domain_graph(net, domain)
-    routers = {name: net.nodes[name] for name in g.nodes}
+    view = net.domain_view(domain)
+    prefixes_by_idx = [advertised_prefixes(r) for r in view.routers]
     installed = 0
-    for src in routers.values():
-        assert isinstance(src, Router)
-        for subnet, ifname in src.connected_prefixes.items():
-            src.fib.install(subnet, RouteEntry(ifname, None, 0.0, "connected"))
-            installed += 1
-    for dst_name, dst in routers.items():
-        assert isinstance(dst, Router)
-        dist, _paths = _deterministic_dijkstra(g, dst_name)
-        prefixes = advertised_prefixes(dst)
-        for src_name, src in routers.items():
-            assert isinstance(src, Router)
-            if src_name == dst_name or src_name not in dist:
+    for si in view.order_idx:
+        src = view.routers[si]
+        batch = [
+            (subnet, RouteEntry(ifname, None, 0.0, "connected"))
+            for subnet, ifname in src.connected_prefixes.items()
+        ]
+        installed += src.fib.install_many(batch)
+    batches: dict[int, list[tuple[Prefix, RouteEntry]]] = {
+        i: [] for i in view.order_idx
+    }
+    for di in view.order_idx:
+        dist, _pred, _disc = view.spf(di)
+        prefixes = prefixes_by_idx[di]
+        for sj in view.order_idx:
+            if sj == di:
                 continue
-            candidates: list[tuple[str, IPv4Address]] = []
-            for v in sorted(g.neighbors(src_name)):
-                if v not in dist:
-                    continue
-                if abs(g[src_name][v]["metric"] + dist[v] - dist[src_name]) <= 1e-12:
-                    dl = g[src_name][v]["duplex"]
-                    out_ifname, nh_addr = _egress_towards(dl, src_name)
-                    candidates.append((out_ifname, nh_addr))
-            if not candidates:
+            entry = _ecmp_entry_towards(view, sj, dist)
+            if entry is None:
                 continue
-            (primary_if, primary_nh), *alts = candidates
+            cp = view.routers[sj].connected_prefixes
+            b = batches[sj]
             for prefix in prefixes:
-                if prefix in src.connected_prefixes:
+                if prefix in cp:
                     continue
-                src.fib.install(
-                    prefix,
-                    RouteEntry(primary_if, primary_nh, dist[src_name], "spf",
-                               alternates=tuple(alts)),
-                )
-                installed += 1
+                b.append((prefix, entry))
+    for sj in view.order_idx:
+        installed += view.routers[sj].fib.install_many(batches[sj])
+    _save_state(net, domain, view, True, prefixes_by_idx)
     return installed
 
 
@@ -170,32 +223,30 @@ def _deterministic_dijkstra(
 ) -> tuple[dict[str, float], dict[str, list[str]]]:
     """Dijkstra with lexicographic tie-breaking on the path's node names.
 
-    networkx's implementation is deterministic only up to adjacency-dict
-    order; we make equal-cost choices explicit so FIBs are identical across
-    runs and platforms regardless of construction order.
+    Works on any networkx graph with ``metric`` edge attributes (the TE
+    module runs it on a *directed* residual graph).  Same results — values
+    and dict insertion order — as the reference path-tuple implementation,
+    via the indexed predecessor-map core.
     """
-    import heapq
-
-    dist: dict[str, float] = {src: 0.0}
-    paths: dict[str, list[str]] = {src: [src]}
-    heap: list[tuple[float, tuple[str, ...], str]] = [(0.0, (src,), src)]
-    done: set[str] = set()
-    while heap:
-        d, path_key, u = heapq.heappop(heap)
-        if u in done:
-            continue
-        done.add(u)
-        paths[u] = list(path_key)
-        for v in sorted(g.neighbors(u)):
-            if v in done:
-                continue
-            nd = d + g[u][v]["metric"]
-            if v not in dist or nd < dist[v] - 1e-12 or (
-                abs(nd - dist[v]) <= 1e-12 and path_key + (v,) < tuple(paths.get(v, ()))
-            ):
-                dist[v] = nd
-                paths[v] = list(path_key) + [v]
-                heapq.heappush(heap, (nd, path_key + (v,), v))
+    names = sorted(g.nodes)
+    idx = {name: i for i, name in enumerate(names)}
+    adj: list[list[tuple[int, float]]] = [[] for _ in names]
+    directed = g.is_directed()
+    for u, v, data in g.edges(data=True):
+        w = data["metric"]
+        adj[idx[u]].append((idx[v], w))
+        if not directed:
+            adj[idx[v]].append((idx[u], w))
+    for lst in adj:
+        lst.sort()
+    dist_arr, pred, disc = dijkstra_pred(adj, idx[src])
+    dist: dict[str, float] = {}
+    paths: dict[str, list[str]] = {}
+    for i in disc:
+        name = names[i]
+        dist[name] = dist_arr[i]
+        p = pred[i]
+        paths[name] = [name] if p < 0 else paths[names[p]] + [name]
     return dist, paths
 
 
@@ -205,35 +256,231 @@ def clear_routes(router: Router, sources: tuple[str, ...] = ("spf", "connected")
     Used before reconvergence so stale paths through failed links vanish;
     static/BGP/bench routes survive.
     """
-    removed = 0
-    for prefix, entry in list(router.fib.routes()):
-        if entry.source in sources:
-            router.fib.withdraw(prefix)
-            removed += 1
-    return removed
+    doomed = [p for p, e in list(router.fib.routes()) if e.source in sources]
+    return router.fib.withdraw_many(doomed)
+
+
+def _full_reconverge(net: "Network", domain: str, ecmp: bool) -> int:
+    view = net.domain_view(domain)
+    for router in view.routers:
+        clear_routes(router)
+    return converge(net, domain, ecmp=ecmp)
 
 
 def reconverge(net: "Network", domain: str = "core") -> int:
     """Recompute the IGP after a topology change (link failure/restore).
 
-    Models the end state of an SPF re-run triggered by LSA flooding: every
-    in-domain router's SPF/connected routes are flushed and recomputed over
-    the current link states.  The *time* reconvergence takes (hello/dead
-    timers + SPF delay) is an experiment parameter, not simulated here —
-    the resilience experiment applies it as a delay before calling this.
+    Models the end state of an SPF re-run triggered by LSA flooding.  The
+    *time* reconvergence takes (hello/dead timers + SPF delay) is an
+    experiment parameter, not simulated here — the resilience experiment
+    applies it as a delay before calling this.
+
+    Incremental: the edge set is diffed against the snapshot of the last
+    convergence and SPF re-runs only for sources (ECMP: destinations)
+    whose shortest-path trees the change can touch; their FIBs receive the
+    withdraw/install *delta*.  Contents are always identical to a full
+    ``clear_routes`` + :func:`converge`, which remains the fallback for
+    anything the diff can't localize (membership or prefix churn, several
+    edges appearing at once).  The ECMP flag of the previous convergence
+    is preserved — a domain converged with ``ecmp=True`` reconverges with
+    ECMP, where the pre-fast-path implementation silently downgraded to
+    single-path.  Returns the number of FIB installs performed.
     """
-    g = _domain_graph(net, domain)
-    for name in g.nodes:
-        node = net.nodes[name]
-        if isinstance(node, Router):
-            clear_routes(node)
-    return converge(net, domain)
+    state: SpfState | None = net._spf_state.get(domain)
+    view = net.domain_view(domain)
+    ecmp = state.ecmp if state is not None else False
+    if state is None or state.names != view.names:
+        return _full_reconverge(net, domain, ecmp)
+    prefixes_by_idx = [advertised_prefixes(r) for r in view.routers]
+    if [tuple(p) for p in prefixes_by_idx] != state.prefixes:
+        return _full_reconverge(net, domain, ecmp)
+    if state.edges == view.edges:
+        # Nothing moved; the installed routes are already the converged
+        # state.  Still bump every FIB generation: reconverge()'s contract
+        # is that forwarding caches revalidate afterwards (the pre-PR
+        # implementation reinstalled every route, which had that effect).
+        for router in view.routers:
+            router.fib.generation += 1
+        return 0
+    removed = [key for key, m in state.edges.items() if view.edges.get(key) != m]
+    added = [(key, m) for key, m in view.edges.items() if state.edges.get(key) != m]
+    if len(added) > 1:
+        # Several new edges can enable each other (chained improvements);
+        # the single-edge attractiveness test below is only sound alone.
+        return _full_reconverge(net, domain, ecmp)
+    if ecmp:
+        return _reconverge_ecmp_delta(net, domain, view, state,
+                                      prefixes_by_idx, removed, added)
+    return _reconverge_spt_delta(net, domain, view, state,
+                                 prefixes_by_idx, removed, added)
+
+
+def _added_edge_affects(dist, key: tuple[int, int], w: float) -> bool:
+    """Could a new edge ``key`` with metric ``w`` enter this root's
+    shortest-path DAG (improve or tie any distance, or extend reach)?"""
+    u, v = key
+    du, dv = dist[u], dist[v]
+    fu, fv = du != inf, dv != inf
+    if fu and fv:
+        return du + w <= dv + TIE_EPS or dv + w <= du + TIE_EPS
+    return fu or fv  # reaches across the old reachability frontier
+
+
+def _reconverge_spt_delta(
+    net: "Network", domain: str, view: "DomainView", state: SpfState,
+    prefixes_by_idx: list[list[Prefix]],
+    removed: list[tuple[int, int]], added: list[tuple[tuple[int, int], float]],
+) -> int:
+    n = len(view.names)
+    affected: list[int] = []
+    for si in range(n):
+        dist, pred, _disc = state.spf[si]
+        hit = False
+        for u, v in removed:
+            # An edge changes this source's result only if its tree used it
+            # (non-tree equal-cost alternatives don't move dists or the
+            # lexicographic winner).
+            if pred[u] == v or pred[v] == u:
+                hit = True
+                break
+        if not hit:
+            for key, w in added:
+                if _added_edge_affects(dist, key, w):
+                    hit = True
+                    break
+        if hit:
+            affected.append(si)
+    installs = 0
+    for si in affected:
+        src = view.routers[si]
+        desired: dict[Prefix, RouteEntry] = {}
+        for prefix, entry in _install_spf_for_source(view, si, prefixes_by_idx):
+            if entry.source == "spf":
+                desired[prefix] = entry
+        current = {
+            p: e for p, e in src.fib.routes() if e.source == "spf"
+        }
+        src.fib.withdraw_many([p for p in current if p not in desired])
+        installs += src.fib.install_many(
+            [(p, e) for p, e in desired.items() if current.get(p) != e]
+        )
+        state.spf[si] = view.spf(si)
+    state.edges = dict(view.edges)
+    return installs
+
+
+def _reconverge_ecmp_delta(
+    net: "Network", domain: str, view: "DomainView", state: SpfState,
+    prefixes_by_idx: list[list[Prefix]],
+    removed: list[tuple[int, int]], added: list[tuple[tuple[int, int], float]],
+) -> int:
+    n = len(view.names)
+    affected: set[int] = set()
+    for di in range(n):
+        dist = state.spf[di][0]
+        hit = False
+        for key in removed:
+            u, v = key
+            du, dv = dist[u], dist[v]
+            if du == inf or dv == inf:
+                continue  # edge was outside this root's reachable DAG
+            w_old = state.edges[key]
+            if costs_equal(du, dv + w_old) or costs_equal(dv, du + w_old):
+                hit = True  # edge sat in the shortest-path DAG
+                break
+        if not hit:
+            for key, w in added:
+                if _added_edge_affects(dist, key, w):
+                    hit = True
+                    break
+        if hit:
+            affected.add(di)
+    if not affected:
+        state.edges = dict(view.edges)
+        return 0
+    # Prefixes advertised by several routers resolve last-writer-wins in
+    # destination order, so every co-advertiser of an affected router's
+    # prefixes must be replayed too (their stored distance arrays still
+    # hold — only the affected ones are recomputed).
+    order_pos = {di: k for k, di in enumerate(view.order_idx)}
+    adv: dict[Prefix, list[int]] = {}
+    for di in view.order_idx:
+        for p in prefixes_by_idx[di]:
+            adv.setdefault(p, []).append(di)
+    process: set[int] = set(affected)
+    for di in affected:
+        for p in prefixes_by_idx[di]:
+            process.update(adv[p])
+    desired: dict[int, dict[Prefix, RouteEntry]] = {}
+    for di in view.order_idx:
+        if di not in process:
+            continue
+        if di in affected:
+            dist = view.spf(di)[0]
+            state.spf[di] = view.spf(di)
+        else:
+            dist = state.spf[di][0]
+        prefixes = prefixes_by_idx[di]
+        pos_di = order_pos[di]
+        # A later co-advertiser we are *not* replaying already owns the FIB
+        # entry wherever it is reachable — don't overwrite it.
+        standing: dict[Prefix, list[int]] = {}
+        for p in prefixes:
+            standing[p] = [
+                k for k in adv[p]
+                if k not in process and order_pos[k] > pos_di
+            ]
+        for sj in view.order_idx:
+            if sj == di:
+                continue
+            entry = _ecmp_entry_towards(view, sj, dist)
+            if entry is None:
+                continue
+            cp = view.routers[sj].connected_prefixes
+            d_j = desired.setdefault(sj, {})
+            for p in prefixes:
+                if p in cp:
+                    continue
+                if any(state.spf[k][0][sj] != inf for k in standing[p]):
+                    continue
+                d_j[p] = entry
+    # Withdrawals: a prefix of an affected router leaves a FIB only when no
+    # co-advertiser reaches that source anymore.
+    affected_prefixes: set[Prefix] = set()
+    for di in affected:
+        affected_prefixes.update(prefixes_by_idx[di])
+    installs = 0
+    for sj in view.order_idx:
+        src = view.routers[sj]
+        d_j = desired.get(sj, {})
+        cp = src.connected_prefixes
+        withdraws = []
+        for p in affected_prefixes:
+            if p in cp or p in d_j:
+                continue
+            if src.fib.get(p) is None:
+                continue
+            if any(state.spf[k][0][sj] != inf for k in adv[p]):
+                continue  # some advertiser still reaches sj; entry stands
+            withdraws.append(p)
+        src.fib.withdraw_many(withdraws)
+        if d_j:
+            current = src.fib
+            installs += src.fib.install_many(
+                [(p, e) for p, e in d_j.items() if current.get(p) != e]
+            )
+    state.edges = dict(view.edges)
+    return installs
 
 
 def spf_paths(net: "Network", src: str, dst: str, domain: str = "core") -> list[str]:
     """The deterministic shortest path ``src → dst`` as a node-name list."""
-    g = _domain_graph(net, domain)
-    _dist, paths = _deterministic_dijkstra(g, src)
-    if dst not in paths:
+    view = net.domain_view(domain)
+    si = view.idx.get(src)
+    di = view.idx.get(dst)
+    if si is None or di is None:
         raise nx.NetworkXNoPath(f"no path {src} -> {dst}")
-    return paths[dst]
+    path = view.path_names(si, di)
+    if path is None:
+        raise nx.NetworkXNoPath(f"no path {src} -> {dst}")
+    return path

@@ -1,0 +1,325 @@
+"""Control-plane fast path primitives: indexed SPF over a cached domain view.
+
+The pre-PR control plane rebuilt a networkx graph and ran a Dijkstra whose
+heap keys were whole path tuples — O(path length) comparisons and one
+tuple allocation per relaxation — for every source, on every call.  This
+module replaces that with:
+
+* :class:`DomainView` — an integer-indexed snapshot of one routing domain
+  (sorted-name index assignment, adjacency lists, per-neighbour egress
+  info precomputed from the duplex links), cached on the
+  :class:`~repro.topology.Network` behind its ``topology_generation``
+  counter, the same structural-invalidation pattern the data plane's
+  ``GenCache`` uses.
+* :func:`dijkstra_pred` — a predecessor-map Dijkstra with heap keys
+  ``(dist, node_index)``.  Because indices are assigned in sorted-name
+  order, integer comparison *is* lexicographic name comparison, and the
+  exact tie-break of the reference implementation (smallest path as a
+  name sequence) is preserved by materializing candidate paths lazily —
+  only when two candidates actually tie on cost.
+* :class:`SpfState` — the per-domain snapshot (edges + per-source SPF
+  arrays) that :func:`repro.routing.spf.reconverge` diffs against to
+  recompute only the sources whose shortest-path trees a link event
+  touched.
+
+Per-source results are stored as compact ``array`` triples
+``(dist, pred, disc)`` — ``disc`` is the discovery order, which the
+converge code must iterate to reproduce the reference FIB contents
+bit-for-bit: prefixes advertised by several routers (link /30s) are
+installed last-writer-wins, so destination order is part of the contract.
+
+Assumes link metrics are positive and far larger than the 1e-12 tie
+epsilon (true for every topology the builders create); under that
+assumption pop order among equal-cost nodes cannot change any result.
+"""
+
+from __future__ import annotations
+
+import heapq
+from array import array
+from dataclasses import dataclass, field
+from math import inf
+from typing import TYPE_CHECKING
+
+from repro.net.address import IPv4Address, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.routing.router import Router
+    from repro.topology import DuplexLink, Network
+
+__all__ = [
+    "TIE_EPS",
+    "costs_equal",
+    "dijkstra_pred",
+    "first_hop_array",
+    "DomainView",
+    "SpfState",
+]
+
+#: Cost comparison tolerance.  One shared epsilon for *every* equal-cost
+#: decision (Dijkstra tie-break, ECMP multipath condition, incremental
+#: reconvergence tests) so float metric sums like 0.1+0.2 vs 0.3 are ties
+#: everywhere or nowhere.
+TIE_EPS = 1e-12
+
+
+def costs_equal(a: float, b: float) -> bool:
+    """True when two path costs are equal under the shared tolerance."""
+    return abs(a - b) <= TIE_EPS
+
+
+def dijkstra_pred(
+    adj: list[list[tuple[int, float]]], src: int
+) -> tuple[list[float], list[int], list[int]]:
+    """Predecessor-map Dijkstra with exact lexicographic tie-breaking.
+
+    ``adj[u]`` must be sorted by neighbour index (== sorted by name).
+    Returns ``(dist, pred, disc)``: distance per node (``inf`` when
+    unreachable), predecessor index (-1 for the source and unreached
+    nodes), and indices in discovery order (source first).  The tree is
+    identical to the reference path-tuple Dijkstra: among equal-cost
+    candidates the one whose full node-name path is lexicographically
+    smallest wins.
+    """
+    n = len(adj)
+    dist: list[float] = [inf] * n
+    pred: list[int] = [-1] * n
+    disc: list[int] = [src]
+    done = bytearray(n)
+    dist[src] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, src)]
+    pop, push = heapq.heappop, heapq.heappush
+    # Final paths, materialized lazily: only consulted when two candidates
+    # tie on cost, so the common case never allocates a path tuple.
+    paths: dict[int, tuple[int, ...]] = {src: (src,)}
+    eps = TIE_EPS
+
+    def final_path(i: int) -> tuple[int, ...]:
+        p = paths.get(i)
+        if p is not None:
+            return p
+        stack: list[int] = []
+        j = i
+        while True:
+            p = paths.get(j)
+            if p is not None:
+                break
+            stack.append(j)
+            j = pred[j]
+        while stack:
+            j = stack.pop()
+            p = p + (j,)
+            paths[j] = p
+        return p
+
+    while heap:
+        d, u = pop(heap)
+        if done[u]:
+            continue
+        done[u] = 1
+        for v, w in adj[u]:
+            if done[v]:
+                continue
+            nd = d + w
+            dv = dist[v]
+            if dv == inf:
+                dist[v] = nd
+                pred[v] = u
+                disc.append(v)
+                push(heap, (nd, v))
+            elif nd < dv - eps:
+                dist[v] = nd
+                pred[v] = u
+                push(heap, (nd, v))
+            elif nd <= dv + eps:
+                pu = pred[v]
+                # Equal cost: keep the lexicographically smaller full path.
+                # pred values compared here are finalized (their dist is
+                # strictly smaller), so their paths are stable.
+                if pu != u and final_path(u) + (v,) < final_path(pu) + (v,):
+                    dist[v] = nd
+                    pred[v] = u
+                    push(heap, (nd, v))
+    return dist, pred, disc
+
+
+def first_hop_array(pred, disc, src: int, n: int) -> list[int]:
+    """First-hop index per node for a tree rooted at ``src`` (-1 when
+    undefined: the source itself and unreachable nodes).
+
+    ``disc`` is first-*discovery* order, which is not topological with
+    respect to the final ``pred`` map (a relaxation can re-point a node at
+    a predecessor discovered later), so each entry is resolved by walking
+    the predecessor chain, memoizing every node on the way — O(V) total.
+    """
+    fh = [-1] * n
+    for k in range(1, len(disc)):
+        v = disc[k]
+        if fh[v] != -1:
+            continue
+        stack: list[int] = []
+        j = v
+        while fh[j] == -1 and pred[j] != src:
+            stack.append(j)
+            j = pred[j]
+        if fh[j] != -1:
+            h = fh[j]
+        else:
+            h = j  # pred[j] is the source: j is its own first hop
+            fh[j] = j
+        while stack:
+            fh[stack.pop()] = h
+    return fh
+
+
+@dataclass
+class SpfState:
+    """Per-domain snapshot :func:`~repro.routing.spf.reconverge` diffs against.
+
+    ``spf[i]`` holds the ``(dist, pred, disc)`` arrays computed for source
+    (or, in ECMP mode, destination) index ``i`` at the last convergence;
+    ``edges`` is the edge→metric map of the topology those arrays were
+    computed on.  ``prefixes`` snapshots each router's advertised prefix
+    list — prefix churn (``attach_host`` after converge) cannot be located
+    from an edge diff, so it forces a full recompute.
+    """
+
+    ecmp: bool
+    names: list[str]
+    edges: dict[tuple[int, int], float]
+    prefixes: list[tuple[Prefix, ...]]
+    spf: dict[int, tuple[array, array, array]] = field(default_factory=dict)
+
+
+class DomainView:
+    """Indexed, generation-stamped snapshot of one routing domain.
+
+    Node indices are assigned in sorted-name order so integer order ==
+    lexicographic name order (what the deterministic tie-break needs).
+    ``order_idx`` preserves :attr:`Network.nodes` insertion order — the
+    iteration order of the reference implementation, and therefore part
+    of the FIB-content contract for shared prefixes.
+
+    Built by :meth:`repro.topology.Network.domain_view`, which caches one
+    view per domain and rebuilds when ``topology_generation`` moves or the
+    domain membership changes (``node.domain`` flips don't bump the
+    counter).  Per-source SPF results are memoized on the view, so they
+    share its lifetime exactly.
+    """
+
+    __slots__ = (
+        "generation", "domain", "names", "idx", "order_names", "order_idx",
+        "routers", "adj", "nbr", "edges", "duplex", "_spf",
+    )
+
+    def __init__(self) -> None:
+        self.generation: int = -1
+        self.domain: str = ""
+        self.names: list[str] = []
+        self.idx: dict[str, int] = {}
+        self.order_names: list[str] = []
+        self.order_idx: list[int] = []
+        self.routers: list["Router"] = []
+        self.adj: list[list[tuple[int, float]]] = []
+        # nbr[i][j] = (duplex, out_ifname, next_hop_addr) for i -> j over
+        # the lowest-metric parallel link.
+        self.nbr: list[dict[int, tuple["DuplexLink", str, IPv4Address]]] = []
+        self.edges: dict[tuple[int, int], float] = {}
+        self.duplex: dict[tuple[int, int], "DuplexLink"] = {}
+        self._spf: dict[int, tuple[array, array, array]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, net: "Network", domain: str, members: list[str]) -> "DomainView":
+        view = cls()
+        view.generation = net.topology_generation
+        view.domain = domain
+        names = sorted(members)
+        idx = {name: i for i, name in enumerate(names)}
+        view.names = names
+        view.idx = idx
+        view.order_names = members
+        view.order_idx = [idx[name] for name in members]
+        view.routers = [net.nodes[name] for name in names]  # type: ignore[misc]
+
+        # Lowest-metric live duplex per adjacency; ties keep the first link
+        # in duplex_links order (matches the reference graph builder).
+        best: dict[tuple[int, int], tuple[float, "DuplexLink"]] = {}
+        for dl in net.duplex_links:
+            if not (dl.link_ab.up and dl.link_ba.up):
+                continue
+            ia = idx.get(dl.a.name)
+            ib = idx.get(dl.b.name)
+            if ia is None or ib is None:
+                continue
+            key = (ia, ib) if ia < ib else (ib, ia)
+            cur = best.get(key)
+            if cur is None or dl.metric < cur[0]:
+                best[key] = (dl.metric, dl)
+
+        n = len(names)
+        adj: list[list[tuple[int, float]]] = [[] for _ in range(n)]
+        nbr: list[dict[int, tuple["DuplexLink", str, IPv4Address]]] = [
+            {} for _ in range(n)
+        ]
+        for key, (metric, dl) in best.items():
+            i, j = key
+            adj[i].append((j, metric))
+            adj[j].append((i, metric))
+            ia = idx[dl.a.name]
+            ib = idx[dl.b.name]
+            eg_a = dl.egress_a or _egress_scan(dl, dl.a.name)
+            eg_b = dl.egress_b or _egress_scan(dl, dl.b.name)
+            nbr[ia][ib] = (dl, eg_a[0], eg_a[1])
+            nbr[ib][ia] = (dl, eg_b[0], eg_b[1])
+            view.edges[key] = metric
+            view.duplex[key] = dl
+        for lst in adj:
+            lst.sort()
+        view.adj = adj
+        view.nbr = nbr
+        return view
+
+    # ------------------------------------------------------------------
+    def spf(self, i: int) -> tuple[array, array, array]:
+        """Memoized SPF rooted at index ``i`` (symmetric metrics make one
+        destination-rooted run serve every source, and vice versa)."""
+        r = self._spf.get(i)
+        if r is None:
+            dist, pred, disc = dijkstra_pred(self.adj, i)
+            r = (array("d", dist), array("q", pred), array("q", disc))
+            self._spf[i] = r
+        return r
+
+    def first_hops(self, i: int) -> list[int]:
+        """First-hop index per node for source ``i`` (undefined entries -1)."""
+        _dist, pred, disc = self.spf(i)
+        return first_hop_array(pred, disc, i, len(self.names))
+
+    def path_names(self, i: int, j: int) -> list[str] | None:
+        """Node-name shortest path ``i → j``; None when unreachable."""
+        dist, pred, _disc = self.spf(i)
+        if dist[j] == inf:
+            return None
+        rev = []
+        k = j
+        while k != i:
+            rev.append(k)
+            k = pred[k]
+        rev.append(i)
+        names = self.names
+        return [names[k] for k in reversed(rev)]
+
+
+def _egress_scan(dl: "DuplexLink", src_name: str) -> tuple[str, IPv4Address]:
+    """Fallback egress resolution for hand-built DuplexLinks that predate
+    the connect-time precompute (scan the peer's address table)."""
+    if dl.a.name == src_name:
+        for addr, ifname in dl.b.addresses.items():
+            if ifname == dl.if_ba.name:
+                return dl.if_ab.name, addr
+    else:
+        for addr, ifname in dl.a.addresses.items():
+            if ifname == dl.if_ab.name:
+                return dl.if_ba.name, addr
+    raise RuntimeError(f"no peer address on duplex link {dl.a.name}-{dl.b.name}")

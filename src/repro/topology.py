@@ -49,7 +49,14 @@ def _default_qdisc(node: Node, ifname: str) -> QueueDiscipline:
 
 @dataclass
 class DuplexLink:
-    """Bookkeeping record for one bidirectional connection."""
+    """Bookkeeping record for one bidirectional connection.
+
+    ``addr_a``/``addr_b`` and the ``egress_*`` pairs are precomputed by
+    :meth:`Network.connect` so the control plane resolves a next hop with
+    one attribute read instead of scanning the peer's address table;
+    ``net`` points back at the owning network so :meth:`set_up` can bump
+    its topology generation (link state is part of the IGP topology).
+    """
 
     a: Node
     b: Node
@@ -60,11 +67,18 @@ class DuplexLink:
     rate_bps: float
     delay_s: float
     metric: float
+    addr_a: IPv4Address | None = None
+    addr_b: IPv4Address | None = None
+    egress_a: tuple[str, IPv4Address] | None = None  # a's (out_if, next hop)
+    egress_b: tuple[str, IPv4Address] | None = None  # b's (out_if, next hop)
+    net: "Network | None" = None
 
     def set_up(self, up: bool) -> None:
         """Raise/fail both directions (simulates a link cut)."""
         self.link_ab.up = up
         self.link_ba.up = up
+        if self.net is not None:
+            self.net.topology_generation += 1
 
     def utilization(self, elapsed: float) -> tuple[float, float]:
         """(a→b, b→a) transmitter utilization over ``elapsed`` seconds."""
@@ -94,6 +108,12 @@ class Network:
         self.nodes: dict[str, Node] = {}
         self.duplex_links: list[DuplexLink] = []
         self.default_qdisc_factory: QdiscFactory = _default_qdisc
+        # Structural version of the routing topology (nodes, links, link
+        # state).  The control plane caches its domain views behind this
+        # counter — the GenCache pattern from ``repro.dataplane.caches``.
+        self.topology_generation = 0
+        self._domain_views: dict = {}
+        self._spf_state: dict = {}
         self._loopback_iter = iter(range(1, self.LOOPBACK_POOL.num_addresses - 1))
         self._linknet_iter = self.LINKNET_POOL.subnets(30)
         # ``None`` unless the process-wide telemetry switch is on (see
@@ -111,6 +131,7 @@ class Network:
             raise ValueError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
         node.trace = self.trace
+        self.topology_generation += 1
         if loopback and node.loopback is None:
             node.set_loopback(self.LOOPBACK_POOL.host(next(self._loopback_iter)))
         return node
@@ -167,8 +188,14 @@ class Network:
         if_ab.attach(link_ab, nb, if_ba_name)
         if_ba.attach(link_ba, na, if_ab_name)
 
-        dl = DuplexLink(na, nb, if_ab, if_ba, link_ab, link_ba, rate_bps, delay_s, metric)
+        dl = DuplexLink(
+            na, nb, if_ab, if_ba, link_ab, link_ba, rate_bps, delay_s, metric,
+            addr_a=addr_a, addr_b=addr_b,
+            egress_a=(if_ab_name, addr_b), egress_b=(if_ba_name, addr_a),
+            net=self,
+        )
         self.duplex_links.append(dl)
+        self.topology_generation += 1
         return dl
 
     @staticmethod
@@ -191,6 +218,32 @@ class Network:
     # ------------------------------------------------------------------
     # Graph export & reporting
     # ------------------------------------------------------------------
+    def domain_view(self, domain: str = "core"):
+        """Cached indexed snapshot of one routing domain (see ``spf_core``).
+
+        Rebuilt when ``topology_generation`` moves *or* the domain's
+        membership changes — ``node.domain`` reassignment (the inter-AS
+        experiments do this) doesn't bump the counter, so membership is
+        re-derived on every call; that scan is O(nodes), dwarfed by any
+        SPF the caller is about to run.
+        """
+        from repro.routing.spf_core import DomainView
+
+        members = [
+            name for name, node in self.nodes.items()
+            if isinstance(node, Router) and node.domain == domain
+        ]
+        view = self._domain_views.get(domain)
+        if (
+            view is not None
+            and view.generation == self.topology_generation
+            and view.order_names == members
+        ):
+            return view
+        view = DomainView.build(self, domain, members)
+        self._domain_views[domain] = view
+        return view
+
     def graph(self, routers_only: bool = False) -> nx.Graph:
         """Undirected topology graph with metric/rate/delay edge attributes."""
         g = nx.Graph()

@@ -122,21 +122,37 @@ class MpBgp:
         result.routes_exported = len(exports)
 
         per_export = self._updates_for_export()
-        for route in exports:
-            if self.route_reflector is not None and route.origin_pe == self.route_reflector:
-                result.updates_sent += len(self.pes) - 1
-            else:
-                result.updates_sent += per_export
+        if self.route_reflector is not None:
+            # RR-originated routes fan straight out to the n-1 clients; every
+            # other route costs per_export (origin→RR, RR→other clients).
+            rr_origin = sum(
+                1 for route in exports if route.origin_pe == self.route_reflector
+            )
+            result.updates_sent = rr_origin * (len(self.pes) - 1) + (
+                len(exports) - rr_origin
+            ) * per_export
+        else:
+            result.updates_sent = len(exports) * per_export
         self.net.counters.incr("bgp.updates", result.updates_sent)
 
         # Import phase: RT intersection decides; never import your own export
         # back into its source VRF (split horizon on the VPN prefix key).
+        # Index exports by RT once so each VRF only scans routes that can
+        # match its import policy — at N sites the full-mesh VPN still
+        # touches O(N²) (route, VRF) pairs, but disjoint VPNs sharing the
+        # backbone no longer pay for each other's routes.
+        by_rt: dict[RouteTarget, list[int]] = {}
+        for i, route in enumerate(exports):
+            for rt in route.route_targets:
+                by_rt.setdefault(rt, []).append(i)
         for pe in self.pes:
             for vrf in pe.vrfs.values():
-                for route in exports:
+                candidates = sorted(
+                    set().union(*(by_rt.get(rt, ()) for rt in vrf.import_rts))
+                ) if vrf.import_rts else []
+                for i in candidates:
+                    route = exports[i]
                     if route.origin_pe == pe.name:
-                        continue
-                    if not (route.route_targets & vrf.import_rts):
                         continue
                     vrf.add_remote(
                         route.prefix,

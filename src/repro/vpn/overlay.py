@@ -15,14 +15,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from math import inf
 from typing import TYPE_CHECKING, Sequence
 
 from repro.net.drops import DropReason
 from repro.net.packet import Packet
 from repro.routing.router import Router
-from repro.routing.spf import _deterministic_dijkstra, _domain_graph, _egress_towards
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.routing.spf_core import DomainView
     from repro.topology import Network
 
 __all__ = ["VcRouter", "VirtualCircuit", "OverlayResult", "OverlayVpnBuilder"]
@@ -83,11 +84,15 @@ class OverlayResult:
     circuits: list[VirtualCircuit] = field(default_factory=list)
     signaling_messages: int = 0
     state_entries_by_node: dict[str, int] = field(default_factory=dict)
+    # Unidirectional VC count.  Equals ``len(circuits)`` unless the build
+    # ran with ``keep_circuits=False`` (paper-scale E1 drops the per-VC
+    # records — a 1000-site mesh is 999 000 of them — but keeps the count).
+    vc_count: int = 0
 
     @property
     def circuit_count(self) -> int:
         """Bidirectional circuit count (VC pairs)."""
-        return len(self.circuits) // 2
+        return (self.vc_count or len(self.circuits)) // 2
 
     @property
     def total_state_entries(self) -> int:
@@ -105,20 +110,15 @@ class OverlayVpnBuilder:
         self.net = net
         self.domain = domain
         self._vc_ids = itertools.count(1)
-        # Per-source SPF cache: the topology is static during a build, and
-        # a 200-site full mesh provisions ~40k circuits — recomputing
-        # Dijkstra per circuit would dominate E1's runtime for no benefit.
-        self._graph = None
-        self._spf_cache: dict[str, dict[str, list[str]]] = {}
+        # The topology is static during a build; the network's cached
+        # domain view memoizes one SPF per source, so a 200-site full mesh
+        # (~40k circuits) never recomputes Dijkstra per circuit.
+        self._view: "DomainView | None" = None
 
-    def _paths_from(self, src: str) -> dict[str, list[str]]:
-        if self._graph is None:
-            self._graph = _domain_graph(self.net, self.domain)
-        paths = self._spf_cache.get(src)
-        if paths is None:
-            _dist, paths = _deterministic_dijkstra(self._graph, src)
-            self._spf_cache[src] = paths
-        return paths
+    def _domain_view(self) -> "DomainView":
+        if self._view is None:
+            self._view = self.net.domain_view(self.domain)
+        return self._view
 
     # ------------------------------------------------------------------
     def provision_circuit(self, src: str, dst: str) -> VirtualCircuit:
@@ -127,37 +127,52 @@ class OverlayVpnBuilder:
         Installs swap state at each transit node and a termination at the
         destination; counts 2 signaling messages per hop (setup + confirm).
         """
-        g = self._graph if self._graph is not None else _domain_graph(self.net, self.domain)
-        self._graph = g
-        paths = self._paths_from(src)
-        if dst not in paths or len(paths[dst]) < 2:
+        view = self._domain_view()
+        si = view.idx.get(src)
+        di = view.idx.get(dst)
+        if si is None or di is None:
             raise ValueError(f"no path {src}->{dst}")
-        path = paths[dst]
+        dist, pred, _disc = view.spf(si)
+        if di == si or dist[di] == inf:
+            raise ValueError(f"no path {src}->{dst}")
+        rev = [di]
+        while rev[-1] != si:
+            rev.append(pred[rev[-1]])
+        path_idx = rev[::-1]
+        names = view.names
         # Per-hop VC ids, swapped like DLCIs; allocate one per segment.
-        ids = [next(self._vc_ids) for _ in range(len(path) - 1)]
-        for i, (u, v) in enumerate(zip(path, path[1:])):
-            node = self.net.nodes[u]
-            assert isinstance(node, VcRouter), f"{u} is not a VcRouter"
-            dl = g[u][v]["duplex"]
-            out_ifname, _ = _egress_towards(dl, u)
+        ids = [next(self._vc_ids) for _ in range(len(path_idx) - 1)]
+        for i, (u, v) in enumerate(zip(path_idx, path_idx[1:])):
+            node = self.net.nodes[names[u]]
+            assert isinstance(node, VcRouter), f"{names[u]} is not a VcRouter"
+            out_ifname = view.nbr[u][v][1]
             next_vc = ids[i + 1] if i + 1 < len(ids) else ids[i]
             node.vc_table[ids[i]] = (out_ifname, next_vc)
-        last = self.net.nodes[path[-1]]
+        last = self.net.nodes[names[path_idx[-1]]]
         assert isinstance(last, VcRouter)
         last.vc_terminations.add(ids[-1])
-        self.net.counters.incr("overlay.signaling_msgs", 2 * (len(path) - 1))
-        return VirtualCircuit(ids[0], src, dst, tuple(path))
+        self.net.counters.incr("overlay.signaling_msgs", 2 * (len(path_idx) - 1))
+        return VirtualCircuit(ids[0], src, dst, tuple(names[i] for i in path_idx))
 
     # ------------------------------------------------------------------
-    def build_full_mesh(self, site_routers: Sequence[str]) -> OverlayResult:
+    def build_full_mesh(
+        self, site_routers: Sequence[str], keep_circuits: bool = True
+    ) -> OverlayResult:
         """Full mesh of bidirectional circuits among ``site_routers``.
 
         N sites → N(N−1)/2 circuit pairs → N(N−1) unidirectional VCs.
+        Pass ``keep_circuits=False`` at paper scale (E1 at N=1000 is 999 000
+        VC records) to install the forwarding state and count everything
+        without retaining a ``VirtualCircuit`` object per VC.
         """
         result = OverlayResult()
         for a, b in itertools.combinations(sorted(site_routers), 2):
-            result.circuits.append(self.provision_circuit(a, b))
-            result.circuits.append(self.provision_circuit(b, a))
+            c_ab = self.provision_circuit(a, b)
+            c_ba = self.provision_circuit(b, a)
+            if keep_circuits:
+                result.circuits.append(c_ab)
+                result.circuits.append(c_ba)
+            result.vc_count += 2
         result.signaling_messages = self.net.counters["overlay.signaling_msgs"]
         for name, node in self.net.nodes.items():
             if isinstance(node, VcRouter) and node.vc_state_entries:
@@ -170,6 +185,7 @@ class OverlayVpnBuilder:
         for spoke in sorted(spokes):
             result.circuits.append(self.provision_circuit(hub, spoke))
             result.circuits.append(self.provision_circuit(spoke, hub))
+        result.vc_count = len(result.circuits)
         result.signaling_messages = self.net.counters["overlay.signaling_msgs"]
         for name, node in self.net.nodes.items():
             if isinstance(node, VcRouter) and node.vc_state_entries:

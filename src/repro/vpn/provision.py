@@ -159,7 +159,8 @@ class VpnProvisioner:
 
         site_id = next(self._site_ids)
         site_prefix = self._pick_prefix(v, prefix)
-        ce, ce_ifname, pe_ifname = self._wire_ce(v, pe, site_id)
+        ce, dl = self._wire_ce(v, pe, site_id)
+        ce_ifname, pe_ifname = dl.if_ab.name, dl.if_ba.name
 
         ce.add_site_prefix(site_prefix)
         if role == "spoke":
@@ -171,9 +172,7 @@ class VpnProvisioner:
             if vrf_name not in pe.vrfs:
                 pe.add_vrf(vrf_name, v.rd, {v.rt}, {v.rt})
         pe.bind_circuit(pe_ifname, vrf_name)
-        ce_addr_on_link = next(
-            a for a, ifn in ce.addresses.items() if ifn == ce_ifname
-        )
+        ce_addr_on_link = dl.addr_a  # CE is the `a` end of connect(ce, pe)
         pe.vrfs[vrf_name].add_local(
             site_prefix, pe_ifname, next_hop=ce_addr_on_link, origin_site=site_id
         )
@@ -220,7 +219,7 @@ class VpnProvisioner:
         ce_up, pe_up = dl_up.if_ab.name, dl_up.if_ba.name
 
         # CE: default route (spoke-bound traffic) via the UP circuit.
-        pe_up_addr = next(a for a, ifn in pe.addresses.items() if ifn == pe_up)
+        pe_up_addr = dl_up.addr_b  # PE is the `b` end of connect(ce, pe)
         ce.set_default_route(ce_up, pe_up_addr)
         ce.add_site_prefix(site_prefix)
 
@@ -230,7 +229,7 @@ class VpnProvisioner:
             pe.add_vrf(up_name, v.rd, {v.rt_spoke}, set())
         pe.bind_circuit(pe_dn, dn_name)
         pe.bind_circuit(pe_up, up_name)
-        ce_dn_addr = next(a for a, ifn in ce.addresses.items() if ifn == ce_dn)
+        ce_dn_addr = dl_dn.addr_a
         # Down VRF owns the hub prefix AND the whole supernet: spokes learn
         # "everything lives at the hub".
         pe.vrfs[dn_name].add_local(site_prefix, pe_dn, next_hop=ce_dn_addr,
@@ -265,12 +264,11 @@ class VpnProvisioner:
                       site_id=site_id)
         self.net.add_node(ce, loopback=False)
         dl = self.net.connect(ce, pe, self.access_rate_bps, self.access_delay_s)
-        ce_ifname, pe_ifname = dl.if_ab.name, dl.if_ba.name
-        pe_addr_on_link = next(
-            a for a, ifn in pe.addresses.items() if ifn == pe_ifname
-        )
-        ce.set_default_route(ce_ifname, pe_addr_on_link)
-        return ce, ce_ifname, pe_ifname
+        # The link carries its endpoint addresses (addr_a = CE side,
+        # addr_b = PE side) — no scan over pe.addresses, which is O(sites)
+        # on a PE hosting many circuits.
+        ce.set_default_route(dl.if_ab.name, dl.addr_b)
+        return ce, dl
 
     def _add_host(self, site: Site, index: int, rate_bps: float) -> Host:
         host = Host(self.net.sim,

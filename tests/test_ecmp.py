@@ -65,6 +65,26 @@ class TestEcmpRoutes:
         e = RouteEntry("a", None, alternates=(("b", None),))
         assert e.all_paths == (("a", None), ("b", None))
 
+    def test_float_metric_sums_tie_under_shared_epsilon(self):
+        """0.1 + 0.2 != 0.3 in binary floats; the one shared tie tolerance
+        (spf_core.TIE_EPS) must make the two branches equal cost anyway —
+        in the Dijkstra tie-break AND the ECMP multipath condition."""
+        net = Network(seed=6)
+        s = net.add_router("s")
+        m1 = net.add_router("m1")
+        m2 = net.add_router("m2")
+        t = net.add_router("t")
+        net.connect(s, m1, 10e6, 1e-3, metric=0.1)
+        net.connect(m1, t, 10e6, 1e-3, metric=0.2)
+        net.connect(s, m2, 10e6, 1e-3, metric=0.3)
+        net.connect(m2, t, 10e6, 1e-3, metric=1e-13)  # below TIE_EPS: free hop
+        converge(net, ecmp=True)
+        entry = s.fib.lookup(t.loopback)
+        assert entry is not None
+        assert len(entry.all_paths) == 2
+        assert entry.out_ifname == "to-m1"          # lexicographic primary
+        assert entry.alternates[0][0] == "to-m2"
+
 
 class TestEcmpForwarding:
     def test_flows_spread_and_do_not_reorder(self):
