@@ -71,11 +71,27 @@ class Link:
         self.dst_node = dst_node
         self.dst_ifname = dst_ifname
         self.delay_s = float(delay_s)
-        self.up = True
+        self._up = True
+        # Link state is routing-topology state: the owning Network wires
+        # this to its topology-generation bump so *any* ``link.up`` write —
+        # not just DuplexLink.set_up — invalidates cached domain views.
+        self.on_state_change: Optional[Callable[[], None]] = None
+
+    @property
+    def up(self) -> bool:
+        return self._up
+
+    @up.setter
+    def up(self, value: bool) -> None:
+        value = bool(value)
+        changed = value != self._up
+        self._up = value
+        if changed and self.on_state_change is not None:
+            self.on_state_change()
 
     def carry(self, pkt: Packet) -> None:
         """Propagate ``pkt`` to the far end (silently lost if link is down)."""
-        if not self.up:
+        if not self._up:
             return
         self.sim.schedule_call(self.delay_s, self.dst_node.receive, pkt, self.dst_ifname)
 

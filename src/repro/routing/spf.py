@@ -242,11 +242,24 @@ def _deterministic_dijkstra(
     dist_arr, pred, disc = dijkstra_pred(adj, idx[src])
     dist: dict[str, float] = {}
     paths: dict[str, list[str]] = {}
+    # ``disc`` is first-discovery order, which is NOT topological with
+    # respect to the final pred map — a relaxation can re-point a node at a
+    # predecessor discovered after it — so each path is materialized by a
+    # memoized walk up the predecessor chain (the final_path /
+    # first_hop_array pattern), never by trusting disc order.
+    by_idx: dict[int, list[str]] = {idx[src]: [src]}
     for i in disc:
-        name = names[i]
-        dist[name] = dist_arr[i]
-        p = pred[i]
-        paths[name] = [name] if p < 0 else paths[names[p]] + [name]
+        chain: list[int] = []
+        j = i
+        while (p := by_idx.get(j)) is None:
+            chain.append(j)
+            j = pred[j]
+        while chain:
+            j = chain.pop()
+            p = p + [names[j]]
+            by_idx[j] = p
+        dist[names[i]] = dist_arr[i]
+        paths[names[i]] = p
     return dist, paths
 
 
@@ -285,6 +298,12 @@ def reconverge(net: "Network", domain: str = "core") -> int:
     is preserved — a domain converged with ``ecmp=True`` reconverges with
     ECMP, where the pre-fast-path implementation silently downgraded to
     single-path.  Returns the number of FIB installs performed.
+
+    Cache contract: a FIB's generation moves iff its contents changed, so
+    the data plane's generation-guarded flow caches revalidate exactly
+    where forwarding could differ.  Routers whose FIB the event did not
+    touch — including every router on a no-op reconverge — keep their
+    generation, and their caches, intact.
     """
     state: SpfState | None = net._spf_state.get(domain)
     view = net.domain_view(domain)
@@ -296,11 +315,10 @@ def reconverge(net: "Network", domain: str = "core") -> int:
         return _full_reconverge(net, domain, ecmp)
     if state.edges == view.edges:
         # Nothing moved; the installed routes are already the converged
-        # state.  Still bump every FIB generation: reconverge()'s contract
-        # is that forwarding caches revalidate afterwards (the pre-PR
-        # implementation reinstalled every route, which had that effect).
-        for router in view.routers:
-            router.fib.generation += 1
+        # state.  FIB generations stay put: a generation moves iff the
+        # FIB's contents changed, so an unchanged FIB means every flow
+        # cache derived from it is still valid.  The delta paths below
+        # keep the same contract for unaffected routers.
         return 0
     removed = [key for key, m in state.edges.items() if view.edges.get(key) != m]
     added = [(key, m) for key, m in view.edges.items() if state.edges.get(key) != m]

@@ -56,6 +56,14 @@ class DuplexLink:
     one attribute read instead of scanning the peer's address table;
     ``net`` points back at the owning network so :meth:`set_up` can bump
     its topology generation (link state is part of the IGP topology).
+
+    Invariant: every routing-relevant mutation must bump the owning
+    network's ``topology_generation``, or cached domain views go stale.
+    The writable surfaces are guarded — ``metric`` is a property that
+    bumps on rewrite, and direct ``link_ab.up`` / ``link_ba.up`` writes
+    bump through the :class:`~repro.net.link.Link` state-change hook
+    :meth:`Network.connect` wires — so callers may mutate them directly
+    instead of going through :meth:`set_up`.
     """
 
     a: Node
@@ -86,6 +94,27 @@ class DuplexLink:
             self.if_ab.stats.utilization(elapsed),
             self.if_ba.stats.utilization(elapsed),
         )
+
+
+def _dl_metric_get(self: DuplexLink) -> float:
+    return self._metric
+
+
+def _dl_metric_set(self: DuplexLink, value: float) -> None:
+    changed = getattr(self, "_metric", value) != value
+    self._metric = value
+    if changed:
+        net = getattr(self, "net", None)
+        if net is not None:
+            net.topology_generation += 1
+
+
+# ``metric`` is IGP state, so rewriting it must invalidate cached domain
+# views exactly like a link up/down.  The property is installed after the
+# dataclass machinery has generated ``__init__`` (a ``metric = property()``
+# line in the class body would read as a field default); the __init__
+# assignment itself runs before ``self.net`` exists and never bumps.
+DuplexLink.metric = property(_dl_metric_get, _dl_metric_set)  # type: ignore[assignment]
 
 
 class Network:
@@ -185,6 +214,7 @@ class Network:
 
         link_ab = Link(self.sim, f"{na.name}->{nb.name}", nb, if_ba_name, delay_s)
         link_ba = Link(self.sim, f"{nb.name}->{na.name}", na, if_ab_name, delay_s)
+        link_ab.on_state_change = link_ba.on_state_change = self._bump_topology
         if_ab.attach(link_ab, nb, if_ba_name)
         if_ba.attach(link_ba, na, if_ab_name)
 
@@ -207,6 +237,11 @@ class Network:
             name = f"{base}.{n}"
             n += 1
         return name
+
+    def _bump_topology(self) -> None:
+        """Invalidate cached domain views / SPF state after a structural
+        change (wired into every Link's up-state hook by :meth:`connect`)."""
+        self.topology_generation += 1
 
     def link_between(self, a: str, b: str) -> Optional[DuplexLink]:
         """First duplex link between the two named nodes, if any."""

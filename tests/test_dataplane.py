@@ -5,8 +5,10 @@ Covers the refactor's contracts:
 * Router, Lsr, and PeRouter all forward through one shared
   :class:`~repro.dataplane.ForwardingPipeline` (parity suite);
 * the generation-stamped flow/label/VRF caches go cold after every
-  control-plane event that can change a forwarding decision — SPF
-  reconvergence, ``reset_ldp``, FRR bypass activation, VRF route churn;
+  control-plane event that changed a forwarding table — SPF
+  reconvergence with a real topology delta, ``reset_ldp``, FRR bypass
+  activation, VRF route churn — and stay warm when the tables are
+  untouched (a no-op ``reconverge`` leaves FIB generations alone);
 * ``POP_PROCESS`` label stacks are processed iteratively (no recursion);
 * ``flow_hash`` is memoized on the packet.
 """
@@ -173,6 +175,28 @@ class TestCacheInvalidation:
         assert r[2].stats.delivered == 3
 
     def test_flow_cache_cold_after_reconverge(self):
+        # A reconverge that actually rewrote r0's FIB (link flap on the
+        # r1-r2 hop withdraws and reinstalls the r2 routes) must flush.
+        net, r = self._router_line()
+        dst = str(r[2].loopback)
+        net.sim.schedule(0.0, lambda: r[0].handle(pkt(dst=dst), "in"))
+        net.run(until=net.sim.now + 1.0)
+        fc = r[0].pipeline.flow_cache
+        before = fc.invalidations
+        dl = net.link_between("r1", "r2")
+        dl.set_up(False)
+        reconverge(net)
+        dl.set_up(True)
+        reconverge(net)
+        net.sim.schedule(0.0, lambda: r[0].handle(pkt(dst=dst), "in"))
+        net.run(until=net.sim.now + 1.0)
+        assert fc.invalidations == before + 1
+        assert fc.misses == 2 and fc.hits == 0
+        assert r[2].stats.delivered == 2
+
+    def test_flow_cache_warm_after_noop_reconverge(self):
+        # No topology change -> no FIB change -> generations hold and the
+        # cached decision keeps serving (it is provably still valid).
         net, r = self._router_line()
         dst = str(r[2].loopback)
         net.sim.schedule(0.0, lambda: r[0].handle(pkt(dst=dst), "in"))
@@ -182,8 +206,8 @@ class TestCacheInvalidation:
         reconverge(net)
         net.sim.schedule(0.0, lambda: r[0].handle(pkt(dst=dst), "in"))
         net.run(until=net.sim.now + 1.0)
-        assert fc.invalidations == before + 1
-        assert fc.misses == 2 and fc.hits == 0
+        assert fc.invalidations == before
+        assert fc.misses == 1 and fc.hits == 1
         assert r[2].stats.delivered == 2
 
     def test_lookup_census_counts_cache_hits(self):

@@ -104,7 +104,7 @@ class TestIncrementalMatchesFullRecompute:
             full_reconverge(oracle, False)
             assert fib_snapshot(net) == fib_snapshot(oracle)
 
-    def test_reconverge_without_change_is_noop_but_bumps_generation(self):
+    def test_reconverge_without_change_is_noop_and_keeps_generations(self):
         net = Network(seed=47)
         build_backbone(net)
         converge(net)
@@ -113,10 +113,73 @@ class TestIncrementalMatchesFullRecompute:
                 if isinstance(r, Router)}
         assert reconverge(net) == 0
         assert fib_snapshot(net) == before
-        # Contract: forwarding caches revalidate after any reconverge call.
+        # Contract: a FIB generation moves iff the FIB's contents changed,
+        # so unchanged FIBs keep their flow caches warm.
         for name, node in net.nodes.items():
             if isinstance(node, Router):
-                assert node.fib.generation == gens[name] + 1
+                assert node.fib.generation == gens[name]
+
+    def test_reconverge_delta_keeps_unaffected_generations(self):
+        # Same contract on the incremental path: routers whose FIB the
+        # link event did not change keep their generation (warm caches);
+        # routers whose FIB changed must move theirs.
+        net = Network(seed=47)
+        build_backbone(net)
+        oracle = Network(seed=47)
+        build_backbone(oracle)
+        converge(net)
+        converge(oracle)
+        gens = {n: r.fib.generation for n, r in net.nodes.items()
+                if isinstance(r, Router)}
+        before = fib_snapshot(net)
+        net.link_between("P1", "P2").set_up(False)
+        oracle.link_between("P1", "P2").set_up(False)
+        reconverge(net)
+        full_reconverge(oracle, False)
+        after = fib_snapshot(net)
+        assert after == fib_snapshot(oracle)
+        for name, node in net.nodes.items():
+            if not isinstance(node, Router):
+                continue
+            if after[name] == before[name]:
+                assert node.fib.generation == gens[name], name
+            else:
+                assert node.fib.generation > gens[name], name
+
+    def test_direct_link_up_write_invalidates_cached_view(self):
+        # Bypassing DuplexLink.set_up and writing link state directly must
+        # still invalidate the cached domain view (the Link.up property
+        # hook bumps topology_generation).
+        inc = Network(seed=47)
+        build_backbone(inc)
+        oracle = Network(seed=47)
+        build_backbone(oracle)
+        converge(inc)
+        converge(oracle)
+        gen = inc.topology_generation
+        inc.link_between("P1", "P2").link_ab.up = False  # one direction drops the edge
+        assert inc.topology_generation > gen
+        oracle.link_between("P1", "P2").set_up(False)
+        reconverge(inc)
+        full_reconverge(oracle, False)
+        assert fib_snapshot(inc) == fib_snapshot(oracle)
+
+    def test_metric_rewrite_invalidates_cached_view(self):
+        # Same invariant for the other writable IGP input: dl.metric is a
+        # property that bumps topology_generation on rewrite.
+        inc = Network(seed=47)
+        build_backbone(inc)
+        oracle = Network(seed=47)
+        build_backbone(oracle)
+        converge(inc)
+        converge(oracle)
+        gen = inc.topology_generation
+        for net in (inc, oracle):
+            net.link_between("P1", "P2").metric = 10.0
+        assert inc.topology_generation > gen
+        reconverge(inc)
+        full_reconverge(oracle, False)
+        assert fib_snapshot(inc) == fib_snapshot(oracle)
 
     def test_reconverge_preserves_ecmp_mode(self):
         net = Network(seed=47)

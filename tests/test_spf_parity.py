@@ -120,6 +120,25 @@ class TestDijkstraWrapperParity:
             assert paths_n == paths_r
             assert list(paths_n) == list(paths_r)  # discovery order too
 
+    def test_late_discovered_final_predecessor(self):
+        # Regression: S-A=10, S-B=1, B-C=1, C-A=1.  A is *discovered*
+        # first (via the heavy S-A edge) and then re-pointed at C, which
+        # enters the discovery order after A — so reconstruction must walk
+        # the final predecessor chain rather than trust discovery order
+        # (the old code raised KeyError('C') here).
+        g = nx.Graph()
+        g.add_edge("S", "A", metric=10.0)
+        g.add_edge("S", "B", metric=1.0)
+        g.add_edge("B", "C", metric=1.0)
+        g.add_edge("C", "A", metric=1.0)
+        dist_n, paths_n = _deterministic_dijkstra(g, "S")
+        dist_r, paths_r = deterministic_dijkstra_reference(g, "S")
+        assert dist_n == dist_r
+        assert paths_n == paths_r
+        assert list(paths_n) == list(paths_r)  # discovery order too
+        assert paths_n["A"] == ["S", "B", "C", "A"]
+        assert dist_n["A"] == 3.0
+
     def test_digraph_supported(self):
         # The TE CSPF runs this on a DiGraph of residual-capacity arcs.
         g = nx.DiGraph()
