@@ -1,0 +1,211 @@
+"""Event-engine fast-path benchmarks.
+
+Self-calibrating like ``test_control_plane_performance.py``: each
+benchmark times the *reference* stack (``repro.sim.reference`` — the
+pre-fast-path engine plus the pre-PR interface driver, packet
+allocation, and unconditional queue counters, all frozen verbatim) and
+the current fast path in the same process, so the asserted speedups hold
+on any machine.  Event-ordering parity between the two is held
+separately by ``tests/test_engine_parity.py``; here we only check the
+clock.
+
+Headline numbers land in ``BENCH_engine.json`` at the repo root (CI
+uploads it as a workflow artifact):
+
+* end-to-end wall clock of a full experiment scenario (E12a elastic
+  traffic with RED AQM, and the E2 MPLS DiffServ config) — target ≥2×,
+* the telemetry off-path: per-packet counters on vs off, asserting the
+  switch actually removes work,
+* sweep scaling: the same grid at 1 vs 4 workers.  The ≥3× scaling
+  floor only *can* hold with ≥4 usable cores, so it is enforced
+  core-aware: on smaller boxes (or under BENCH_PERF_NONBLOCKING=1) the
+  measured factor is still recorded but a miss downgrades to xfail.
+
+Timings use ``time.perf_counter`` (best of interleaved rounds), so the
+file runs unchanged under ``--benchmark-disable``.
+"""
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.obs import runtime
+from repro.sim.reference import reference_stack
+from repro.sweep import run_sweep, smoke_grid
+from repro.sweep.grids import e1_grid
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+# ISSUE 4 acceptance: ≥2× end-to-end on at least one full experiment
+# scenario (single process), ≥3× sweep scaling at 4 workers.
+MIN_E2E_SPEEDUP = 2.0
+MIN_SWEEP_SCALING = 3.0
+SWEEP_WORKERS = 4
+
+_SOFT_FLOORS = os.environ.get("BENCH_PERF_NONBLOCKING") == "1"
+
+
+def _require_floor(speedup: float, floor: float, msg: str, soft: bool = False) -> None:
+    if speedup >= floor:
+        return
+    if _SOFT_FLOORS or soft:
+        pytest.xfail(msg)
+    pytest.fail(msg)
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one benchmark's results into BENCH_engine.json."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of_pair(fn_new, fn_ref, rounds: int) -> tuple[float, float]:
+    """Best-of-``rounds`` wall clock for both sides, interleaved so slow
+    drift (thermal throttling, background load) lands on both."""
+    best_new = best_ref = float("inf")
+    for i in range(rounds):
+        order = (fn_new, fn_ref) if i % 2 == 0 else (fn_ref, fn_new)
+        for fn in order:
+            t0 = perf_counter()
+            fn()
+            dt = perf_counter() - t0
+            if fn is fn_new:
+                best_new = min(best_new, dt)
+            else:
+                best_ref = min(best_ref, dt)
+    return best_new, best_ref
+
+
+def _e2e_case(section: str, run_once) -> None:
+    """Whole experiment, fast path (counters off, as a sweep runs it)
+    vs the frozen reference stack."""
+
+    def run_new():
+        runtime.set_packet_counters(False)
+        try:
+            run_once()
+        finally:
+            runtime.set_packet_counters(True)
+
+    def run_ref():
+        with reference_stack():
+            run_once()
+
+    t_new, t_ref = _best_of_pair(run_new, run_ref, rounds=4)
+    speedup = t_ref / t_new
+    _record(section, {
+        "new_s": t_new,
+        "reference_s": t_ref,
+        "speedup": speedup,
+        "min_required": MIN_E2E_SPEEDUP,
+    })
+    _require_floor(speedup, MIN_E2E_SPEEDUP, (
+        f"{section} end-to-end speedup {speedup:.2f}x < {MIN_E2E_SPEEDUP}x "
+        f"(new {t_new:.3f} s vs reference {t_ref:.3f} s)"
+    ))
+
+
+def test_e2e_elastic_aqm_speedup():
+    """E12a — elastic TCP-like traffic through RED AQM.  The heaviest
+    packet-churn scenario in the suite: the acceptance case."""
+    from repro.experiments.e12_elastic import run_e12a_aqm
+
+    _e2e_case("e2e_e12a_aqm", lambda: run_e12a_aqm())
+
+
+def test_e2e_mpls_diffserv_speedup():
+    """E2 (mpls-diffserv) — the headline QoS configuration."""
+    from repro.experiments.e2_qos import run_config
+
+    _e2e_case(
+        "e2e_e2_mpls_diffserv",
+        lambda: run_config("mpls-diffserv", measure_s=4.0),
+    )
+
+
+def test_counters_switch_is_off_path():
+    """Satellite (b): per-packet ClassStats/drop hooks cost nothing when
+    switched off.  Micro-floor: counters-off must not be slower."""
+    from repro.experiments.e2_qos import run_config
+
+    def run_off():
+        runtime.set_packet_counters(False)
+        try:
+            run_config("mpls-diffserv", measure_s=4.0)
+        finally:
+            runtime.set_packet_counters(True)
+
+    def run_on():
+        run_config("mpls-diffserv", measure_s=4.0)
+
+    t_off, t_on = _best_of_pair(run_off, run_on, rounds=4)
+    ratio = t_on / t_off
+    _record("counters_off_path", {
+        "counters_on_s": t_on,
+        "counters_off_s": t_off,
+        "on_over_off": ratio,
+        "min_required": 0.97,
+    })
+    # Equality would already prove the guard free; in practice skipping
+    # the bookkeeping wins a few percent.  3% tolerance for clock noise.
+    _require_floor(ratio, 0.97, (
+        f"counters-off path slower than counters-on: {ratio:.3f}x "
+        f"(off {t_off:.3f} s vs on {t_on:.3f} s)"
+    ))
+
+
+def test_sweep_scaling_four_workers():
+    """Sweep throughput at 4 workers vs 1 over the E1 grid.
+
+    The ≥3× floor needs ≥4 usable cores; with fewer, parallel workers
+    time-slice one CPU and no scheduler can deliver 3×.  The factor is
+    measured and recorded regardless, but the floor is enforced
+    core-aware (soft on small boxes)."""
+    cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    # The paper's §2.1 scaling grid: overlay vs MPLS provisioning at
+    # four site counts — 8 independent, seconds-scale tasks.
+    grid = e1_grid(sites=(10, 50, 100, 200), reps=1)
+
+    t0 = perf_counter()
+    solo = run_sweep(grid, workers=1)
+    t_solo = perf_counter() - t0
+    t0 = perf_counter()
+    multi = run_sweep(grid, workers=SWEEP_WORKERS)
+    t_multi = perf_counter() - t0
+
+    assert solo["rows"] == multi["rows"]  # scaling must not cost determinism
+    scaling = t_solo / t_multi
+    _record("sweep_scaling", {
+        "tasks": len(grid),
+        "workers": SWEEP_WORKERS,
+        "cores_available": cores,
+        "one_worker_s": t_solo,
+        "four_worker_s": t_multi,
+        "scaling": scaling,
+        "min_required": MIN_SWEEP_SCALING,
+        "floor_enforced": cores >= SWEEP_WORKERS,
+    })
+    _require_floor(scaling, MIN_SWEEP_SCALING, (
+        f"sweep scaling {scaling:.2f}x < {MIN_SWEEP_SCALING}x at "
+        f"{SWEEP_WORKERS} workers ({cores} core(s) available)"
+    ), soft=cores < SWEEP_WORKERS)
+
+
+def test_smoke_grid_stays_fast():
+    """The CI smoke sweep must stay seconds-scale."""
+    t0 = perf_counter()
+    report = run_sweep(smoke_grid(), workers=2)
+    wall = perf_counter() - t0
+    assert not report["failed"]
+    _record("smoke_grid", {"tasks": report["tasks"], "wall_s": wall})
+    assert wall < 60.0

@@ -164,6 +164,31 @@ def build_parser() -> argparse.ArgumentParser:
     tel.add_argument("path", help="bundle written by 'run --telemetry'")
     tel.add_argument("--flows", action="store_true",
                      help="also print the per-VRF/per-class flow tables")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an experiment grid across worker processes",
+        description="Fan a scenario × parameter × seed grid across "
+                    "multiprocessing workers with deterministic per-task "
+                    "seeding; merge one JSON report.",
+    )
+    sweep.add_argument("--grid", choices=["e1", "e2", "e5", "all"],
+                       default="e2", help="which grid to run (default e2)")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = inline, default)")
+    sweep.add_argument("--reps", type=int, default=1,
+                       help="seeded repetitions per grid point")
+    sweep.add_argument("--measure", type=float, default=2.0,
+                       help="measurement window per run (default 2)")
+    sweep.add_argument("--sites", type=int, nargs="+",
+                       default=[10, 50, 100, 200], help="site counts for e1")
+    sweep.add_argument("--smoke", action="store_true",
+                       help="run the seconds-scale CI smoke grid instead")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="collect per-task telemetry manifests into the "
+                            "report (disables the counters-off fast path)")
+    sweep.add_argument("--out", metavar="PATH", default=None,
+                       help="write the merged report to this JSON file")
     return parser
 
 
@@ -175,6 +200,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.command == "telemetry":
         return _show_telemetry(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     recording = args.telemetry is not None
@@ -219,6 +246,36 @@ def main(argv: Sequence[str] | None = None) -> int:
             fh.write("\n")
         print(f"[telemetry: {len(manifests)} run manifest(s) -> {args.telemetry}]")
     return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: fan a grid across workers, merge one report."""
+    from repro.sweep import build_grid, run_sweep, smoke_grid
+
+    if args.smoke:
+        tasks = smoke_grid()
+    else:
+        tasks = build_grid(
+            args.grid, reps=args.reps, measure_s=args.measure,
+            sites=tuple(args.sites),
+        )
+    print(f"[sweep: {len(tasks)} task(s), {args.workers} worker(s)]")
+    report = run_sweep(tasks, workers=args.workers, telemetry=args.telemetry)
+
+    if report["rows"]:
+        print_table(report["rows"])
+    for failure in report["failed"]:
+        print(f"\n[task {failure['index']} {failure['name']} FAILED]")
+        print(failure["error"].rstrip())
+    wall = report["timing"]["wall_s"]
+    print(f"[sweep: {report['ok']}/{report['tasks']} ok in {wall:.1f}s wall clock]")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"[sweep report -> {args.out}]")
+    return 0 if not report["failed"] else 1
 
 
 def _show_telemetry(args: argparse.Namespace) -> int:

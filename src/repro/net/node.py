@@ -19,7 +19,7 @@ from typing import Callable
 from repro.net.address import IPv4Address, Prefix
 from repro.net.drops import DropReason
 from repro.net.link import Interface
-from repro.net.packet import Packet
+from repro.net.packet import POOL, Packet
 from repro.sim.engine import Simulator
 from repro.sim.trace import TraceBus
 
@@ -143,13 +143,19 @@ class Node:
     # Helpers for subclasses
     # ------------------------------------------------------------------
     def deliver_local(self, pkt: Packet) -> None:
-        """Hand a packet addressed to this node to the local application(s)."""
+        """Hand a packet addressed to this node to the local application(s).
+
+        Delivery ends a pooled packet's life-cycle: once every sink has
+        run, the shell goes back to the freelist for the next emission.
+        """
         self.stats.delivered += 1
         fl = self.trace.flight
         if fl is not None:
             fl.deliver(self.sim.now, self.name, pkt)
         for sink in self.local_sinks:
             sink(pkt)
+        if pkt.pooled:
+            POOL.release(pkt)
 
     def drop(self, pkt: Packet, reason: "DropReason | str") -> None:
         """Account and trace a packet drop.
@@ -172,9 +178,10 @@ class Node:
         fl = self.trace.flight
         if fl is not None:
             fl.drop(self.sim.now, self.name, pkt, text)
-        self.trace.publish(
-            "drop", self.sim.now, node=self.name, reason=text, pkt=pkt
-        )
+        if self.trace.active("drop"):
+            self.trace.publish(
+                "drop", self.sim.now, node=self.name, reason=text, pkt=pkt
+            )
 
     def transmit(self, pkt: Packet, ifname: str) -> None:
         """Queue ``pkt`` on interface ``ifname`` for transmission."""

@@ -32,6 +32,8 @@ __all__ = [
     "MplsEntry",
     "Packet",
     "PacketError",
+    "PacketPool",
+    "POOL",
 ]
 
 IPV4_HEADER_BYTES = 20
@@ -134,19 +136,35 @@ class Packet:
     # Memoized CRC32 ECMP key (repro.dataplane.flow_hash).  Never
     # invalidated: the 5-tuple is immutable for the packet's lifetime.
     flow_hash_cache: int | None = field(default=None, repr=False, compare=False)
+    # True while the packet is owned by the PacketPool life-cycle: acquired
+    # from POOL, recycled at local delivery.  Dropped packets keep the flag
+    # but are never released (trace subscribers may retain them).
+    pooled: bool = field(default=False, repr=False, compare=False)
+    # Memoized wire size; invalidated by the label-stack mutators (the only
+    # post-construction size changes — payload/encap are set at creation).
+    _wire: int | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Size accounting
     # ------------------------------------------------------------------
     @property
     def wire_bytes(self) -> int:
-        """Total bytes this packet occupies on a link."""
-        size = IPV4_HEADER_BYTES + MPLS_SHIM_BYTES * len(self.mpls_stack)
-        if self.inner is not None:
-            size += self.inner.wire_bytes + self.encap_overhead
-        else:
-            size += self.payload_bytes + self.encap_overhead
-        return size
+        """Total bytes this packet occupies on a link.
+
+        Memoized: queues, shapers, meters and the transmitter all ask per
+        hop, but the size only changes on a label push/pop (which clears
+        the memo).
+        """
+        w = self._wire
+        if w is None:
+            w = IPV4_HEADER_BYTES + MPLS_SHIM_BYTES * len(self.mpls_stack)
+            inner = self.inner
+            if inner is not None:
+                w += inner.wire_bytes + self.encap_overhead
+            else:
+                w += self.payload_bytes + self.encap_overhead
+            self._wire = w
+        return w
 
     # ------------------------------------------------------------------
     # MPLS label-stack operations
@@ -163,6 +181,7 @@ class Packet:
             ttl = below
         entry = MplsEntry(label, exp, ttl)
         self.mpls_stack.append(entry)
+        self._wire = None
         return entry
 
     def swap_label(self, label: int, exp: int | None = None) -> MplsEntry:
@@ -182,6 +201,7 @@ class Packet:
         if not self.mpls_stack:
             raise PacketError("pop on empty label stack")
         entry = self.mpls_stack.pop()
+        self._wire = None
         if self.mpls_stack:
             self.mpls_stack[-1].ttl = entry.ttl
         else:
@@ -235,3 +255,87 @@ class Packet:
             f"{self.ip.src}->{self.ip.dst} dscp={self.ip.dscp} "
             f"{self.wire_bytes}B>"
         )
+
+
+class PacketPool:
+    """Freelist of :class:`Packet` shells for high-rate traffic sources.
+
+    Under heavy traffic the dominant allocation is one Packet (plus its
+    empty label-stack list) per generated datagram, almost all of which
+    die at the far-end sink a few simulated milliseconds later.  The pool
+    recycles those shells: traffic sources ``acquire`` instead of
+    constructing, and :meth:`repro.net.node.Node.deliver_local` releases a
+    pooled packet once every local sink has run.
+
+    Life-cycle rules (see docs/ARCHITECTURE.md):
+
+    * ``acquire`` re-initialises *every* field, including a fresh ``uid``
+      drawn from the same global counter — so a pooled run and an
+      unpooled run of the same seed produce identical uid sequences.
+    * Only packets that reach ``deliver_local`` are recycled.  Dropped
+      packets are never released: drop paths publish the object to the
+      TraceBus, whose subscribers (and the experiment harnesses) may
+      retain it indefinitely.
+    * Tunnel envelopes and protocol messages are built directly and have
+      ``pooled=False``; the flag travels with the customer packet through
+      encap/decap because the envelope's ``inner`` is the same object.
+    * The FlightRecorder is safe by construction: its HopRecords copy
+      scalar fields out of the packet at record time.
+    """
+
+    __slots__ = ("_free", "max_size")
+
+    def __init__(self, max_size: int = 4096) -> None:
+        self._free: list[Packet] = []
+        self.max_size = max_size
+
+    def acquire(
+        self,
+        ip: IPHeader,
+        payload_bytes: int,
+        flow: Any,
+        seq: int,
+        created: float,
+    ) -> Packet:
+        """A fresh-looking Packet, recycled from the freelist when possible."""
+        free = self._free
+        if not free:
+            pkt = Packet(
+                ip=ip, payload_bytes=payload_bytes, flow=flow, seq=seq,
+                created=created,
+            )
+            pkt.pooled = True
+            return pkt
+        pkt = free.pop()
+        pkt.ip = ip
+        pkt.payload_bytes = payload_bytes
+        if pkt.mpls_stack:
+            pkt.mpls_stack.clear()
+        pkt.flow = flow
+        pkt.seq = seq
+        pkt.inner = None
+        pkt.encrypted = False
+        pkt.encap_overhead = 0
+        pkt.created = created
+        pkt.vc_id = None
+        pkt.uid = next(_packet_ids)
+        pkt.hops = 0
+        pkt.flow_hash_cache = None
+        pkt.pooled = True
+        pkt._wire = None
+        return pkt
+
+    def release(self, pkt: Packet) -> None:
+        """Return a delivered pooled packet to the freelist.  Idempotent:
+        the flag flips off on release so a double release cannot alias."""
+        if pkt.pooled and len(self._free) < self.max_size:
+            pkt.pooled = False
+            self._free.append(pkt)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
+#: Process-wide pool used by ``repro.traffic.generators`` (gated by its
+#: ``POOLING`` flag) and drained back by ``Node.deliver_local``.
+POOL = PacketPool()

@@ -27,6 +27,8 @@ __all__ = [
     "attach_if_enabled",
     "sessions",
     "reset",
+    "set_packet_counters",
+    "packet_counters_enabled",
 ]
 
 _enabled = False
@@ -40,6 +42,9 @@ def enable(**options: Any) -> None:
     global _enabled, _options
     _enabled = True
     _options = dict(options)
+    # Telemetry scrapes the per-class packet counters, so enabling a
+    # session always re-enables them even if a sweep turned them off.
+    set_packet_counters(True)
 
 
 def disable() -> None:
@@ -74,3 +79,25 @@ def reset() -> None:
         s.detach()
     _sessions.clear()
     _options = {}
+    set_packet_counters(True)
+
+
+def set_packet_counters(on: bool) -> None:
+    """Flip the per-packet ``ClassStats``/drop-hook switch in the qdiscs.
+
+    On (the default) every enqueue/dequeue maintains per-class counters and
+    notifies the interface's drop callback — the behaviour tests and
+    telemetry sessions rely on.  Off is the sweep/benchmark fast path: an
+    unobserved run skips the bookkeeping entirely.  Flow metrics come from
+    sinks, so experiment results are identical either way; only the
+    counters (and queue-drop trace records) go dark.
+    """
+    from repro.qos import queues
+
+    queues.COUNTERS = bool(on)
+
+
+def packet_counters_enabled() -> bool:
+    from repro.qos import queues
+
+    return queues.COUNTERS

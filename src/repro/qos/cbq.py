@@ -86,13 +86,19 @@ class CbqScheduler(QueueDiscipline):
         self.classify = classify
         # Round-robin pointer per priority level for fairness among equals.
         self._rr_pointer: dict[int, int] = {}
+        # Total backlog, maintained on push/pop so len() is O(1) — the
+        # driving interface checks it every transmit cycle.
+        self._count = 0
 
     # ------------------------------------------------------------------
     def enqueue(self, pkt: Packet, now: float) -> bool:
         idx = self.classify(pkt)
         if not 0 <= idx < len(self.cbq_classes):
             idx = len(self.cbq_classes) - 1
-        return self.cbq_classes[idx].queue.push(pkt, now)
+        ok = self.cbq_classes[idx].queue.push(pkt, now)
+        if ok:
+            self._count += 1
+        return ok
 
     def set_drop_callback(self, cb: DropCallback | None) -> None:
         for cls in self.cbq_classes:
@@ -108,6 +114,7 @@ class CbqScheduler(QueueDiscipline):
             return None
         cls = self.cbq_classes[pick]
         pkt = cls.queue.pop(now)
+        self._count -= 1
         # Consume allocation; when borrowing this drives the bucket negative
         # conceptually — we clamp by consuming what is there, which keeps the
         # class overlimit until it has been idle long enough.  (The original
@@ -165,7 +172,7 @@ class CbqScheduler(QueueDiscipline):
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return sum(len(c.queue) for c in self.cbq_classes)
+        return self._count
 
     @property
     def backlog_bytes(self) -> int:

@@ -49,6 +49,15 @@ __all__ = [
 # MPLS EXP field or outer DSCP; see repro.qos.classifier for builders.
 ClassifyFn = Callable[[Packet], int]
 
+#: Per-packet counter/drop-hook switch.  True (the default) keeps the
+#: :class:`ClassStats` bumps and drop-callback notifications every test and
+#: telemetry session expects.  The sweep runner and benchmarks flip it off
+#: through :func:`repro.obs.runtime.set_packet_counters` so an unobserved
+#: run pays nothing per packet for observability it is not using.  Flow
+#: metrics (the experiment results) come from sinks, not these counters, so
+#: the off-path changes no experiment output.
+COUNTERS = True
+
 # Invoked when a discipline refuses a packet: (pkt, reason, now).  Wired by
 # the owning Interface so queue losses reach the TraceBus / flight recorder
 # with a taxonomy (QUEUE_TAIL vs QUEUE_AQM) instead of only bumping
@@ -144,9 +153,10 @@ class DropTailFifo(QueueDiscipline):
         if self.drop_policy is not None and self.drop_policy.should_drop(
             pkt, self._bytes, now
         ):
-            self.stats.dropped += 1
-            if self.on_drop is not None:
-                self.on_drop(pkt, DropReason.QUEUE_AQM, now)
+            if COUNTERS:
+                self.stats.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(pkt, DropReason.QUEUE_AQM, now)
             return False
         if (
             self.capacity_packets is not None
@@ -155,13 +165,15 @@ class DropTailFifo(QueueDiscipline):
             self.capacity_bytes is not None
             and self._bytes + pkt.wire_bytes > self.capacity_bytes
         ):
-            self.stats.dropped += 1
-            if self.on_drop is not None:
-                self.on_drop(pkt, DropReason.QUEUE_TAIL, now)
+            if COUNTERS:
+                self.stats.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(pkt, DropReason.QUEUE_TAIL, now)
             return False
         self._q.append(pkt)
         self._bytes += pkt.wire_bytes
-        self.stats.enqueued += 1
+        if COUNTERS:
+            self.stats.enqueued += 1
         return True
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -169,8 +181,9 @@ class DropTailFifo(QueueDiscipline):
             return None
         pkt = self._q.popleft()
         self._bytes -= pkt.wire_bytes
-        self.stats.dequeued += 1
-        self.stats.bytes_sent += pkt.wire_bytes
+        if COUNTERS:
+            self.stats.dequeued += 1
+            self.stats.bytes_sent += pkt.wire_bytes
         if self.drop_policy is not None:
             self.drop_policy.notify_dequeue(self._bytes, now)
         return pkt
@@ -200,9 +213,10 @@ class ClassQueue:
         if self.drop_policy is not None and self.drop_policy.should_drop(
             pkt, self.bytes, now
         ):
-            self.stats.dropped += 1
-            if self.on_drop is not None:
-                self.on_drop(pkt, DropReason.QUEUE_AQM, now)
+            if COUNTERS:
+                self.stats.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(pkt, DropReason.QUEUE_AQM, now)
             return False
         if (
             self.capacity_packets is not None and len(self.q) >= self.capacity_packets
@@ -210,20 +224,23 @@ class ClassQueue:
             self.capacity_bytes is not None
             and self.bytes + pkt.wire_bytes > self.capacity_bytes
         ):
-            self.stats.dropped += 1
-            if self.on_drop is not None:
-                self.on_drop(pkt, DropReason.QUEUE_TAIL, now)
+            if COUNTERS:
+                self.stats.dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop(pkt, DropReason.QUEUE_TAIL, now)
             return False
         self.q.append(pkt)
         self.bytes += pkt.wire_bytes
-        self.stats.enqueued += 1
+        if COUNTERS:
+            self.stats.enqueued += 1
         return True
 
     def pop(self, now: float) -> Packet:
         pkt = self.q.popleft()
         self.bytes -= pkt.wire_bytes
-        self.stats.dequeued += 1
-        self.stats.bytes_sent += pkt.wire_bytes
+        if COUNTERS:
+            self.stats.dequeued += 1
+            self.stats.bytes_sent += pkt.wire_bytes
         if self.drop_policy is not None:
             self.drop_policy.notify_dequeue(self.bytes, now)
         return pkt
@@ -236,13 +253,20 @@ class ClassQueue:
 
 
 class _ClassfulBase(QueueDiscipline):
-    """Shared plumbing for classful schedulers: classify + per-class FIFOs."""
+    """Shared plumbing for classful schedulers: classify + per-class FIFOs.
+
+    Total backlog is tracked in ``_count`` (every subclass bumps it on a
+    successful push and drops it on a successful pop), so ``len(qdisc)`` —
+    which the driving interface consults on every transmit cycle — is O(1)
+    instead of a sum over class queues.
+    """
 
     def __init__(self, classes: Sequence[ClassQueue], classify: ClassifyFn) -> None:
         if not classes:
             raise ValueError("need at least one class queue")
         self.classes = list(classes)
         self.classify = classify
+        self._count = 0
 
     def _class_for(self, pkt: Packet) -> ClassQueue:
         idx = self.classify(pkt)
@@ -251,14 +275,17 @@ class _ClassfulBase(QueueDiscipline):
         return self.classes[idx]
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
-        return self._class_for(pkt).push(pkt, now)
+        ok = self._class_for(pkt).push(pkt, now)
+        if ok:
+            self._count += 1
+        return ok
 
     def set_drop_callback(self, cb: DropCallback | None) -> None:
         for cq in self.classes:
             cq.on_drop = cb
 
     def __len__(self) -> int:
-        return sum(len(c) for c in self.classes)
+        return self._count
 
     @property
     def backlog_bytes(self) -> int:
@@ -275,6 +302,7 @@ class PriorityScheduler(_ClassfulBase):
     def dequeue(self, now: float) -> Optional[Packet]:
         for cq in self.classes:
             if cq.q:
+                self._count -= 1
                 return cq.pop(now)
         return None
 
@@ -303,20 +331,18 @@ class WeightedRoundRobin(_ClassfulBase):
         self._credit = self.weights[0]
 
     def dequeue(self, now: float) -> Optional[Packet]:
-        if len(self) == 0:
+        if self._count == 0:
             return None
         n = len(self.classes)
         for _ in range(2 * n):  # at most one full rotation + restarts
             cq = self.classes[self._current]
             if cq.q and self._credit > 0:
                 self._credit -= 1
+                self._count -= 1
                 return cq.pop(now)
             self._current = (self._current + 1) % n
             self._credit = self.weights[self._current]
         return None  # pragma: no cover - unreachable when backlog > 0
-
-    def __len__(self) -> int:
-        return sum(len(c) for c in self.classes)
 
 
 class DeficitRoundRobin(_ClassfulBase):
@@ -349,10 +375,12 @@ class DeficitRoundRobin(_ClassfulBase):
         if not 0 <= idx < len(self.classes):
             idx = len(self.classes) - 1
         ok = self.classes[idx].push(pkt, now)
-        if ok and not self._in_active[idx]:
-            self._active.append(idx)
-            self._in_active[idx] = True
-            self.deficits[idx] = 0
+        if ok:
+            self._count += 1
+            if not self._in_active[idx]:
+                self._active.append(idx)
+                self._in_active[idx] = True
+                self.deficits[idx] = 0
         return ok
 
     def dequeue(self, now: float) -> Optional[Packet]:
@@ -375,6 +403,7 @@ class DeficitRoundRobin(_ClassfulBase):
                 # exceeds one quantum: keep granting on each visit.
                 continue
             pkt = cq.pop(now)
+            self._count -= 1
             self.deficits[idx] -= pkt.wire_bytes
             if not cq.q:
                 self._active.popleft()
@@ -416,6 +445,7 @@ class FairQueueing(_ClassfulBase):
         cq = self.classes[idx]
         if not cq.push(pkt, now):
             return False
+        self._count += 1
         start = max(self._virtual, self._last_finish[idx])
         finish = start + pkt.wire_bytes / self.weights[idx]
         self._last_finish[idx] = finish
@@ -430,9 +460,10 @@ class FairQueueing(_ClassfulBase):
                 best_tag = tags[0]
                 best = idx
         if best < 0:
-            if len(self) == 0:
+            if self._count == 0:
                 self._virtual = 0.0  # idle system: reset virtual clock
             return None
         self._tags[best].popleft()
         self._virtual = best_tag
+        self._count -= 1
         return self.classes[best].pop(now)

@@ -1,0 +1,26 @@
+"""Parallel experiment sweeps: grids of seeded runs across processes.
+
+See :mod:`repro.sweep.runner` for the execution model and
+:mod:`repro.sweep.grids` for the shipped E1/E2/E5 grids.  CLI entry:
+``python -m repro sweep --grid e2 --workers 4``.
+"""
+
+from repro.sweep.grids import GRIDS, build_grid, smoke_grid
+from repro.sweep.runner import (
+    SCHEMA_ID,
+    Task,
+    deterministic_view,
+    run_sweep,
+    task_seed,
+)
+
+__all__ = [
+    "GRIDS",
+    "build_grid",
+    "smoke_grid",
+    "SCHEMA_ID",
+    "Task",
+    "deterministic_view",
+    "run_sweep",
+    "task_seed",
+]

@@ -1,0 +1,104 @@
+"""Grid builders: the E1 / E2 / E5 sweeps as task lists.
+
+A grid is just a list of task dicts for :func:`repro.sweep.run_sweep`.
+Task names encode the full coordinate (``e2/mpls-diffserv/r1``) and the
+per-task seed is derived from that name, so the same grid built anywhere
+yields byte-identical tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sweep.runner import Task, task_seed
+
+__all__ = ["GRIDS", "build_grid", "smoke_grid"]
+
+
+def _task(index: int, scenario: str, name: str, params: dict) -> Task:
+    return {
+        "index": index,
+        "name": name,
+        "scenario": scenario,
+        "params": params,
+        "seed": task_seed(name),
+    }
+
+
+def e1_grid(
+    sites: Sequence[int] = (10, 50, 100, 200), reps: int = 1, **_: object
+) -> list[Task]:
+    """Overlay vs MPLS provisioning census over site counts × seeds."""
+    tasks = []
+    for kind in ("overlay", "mpls"):
+        for n in sites:
+            for r in range(reps):
+                name = f"e1/{kind}/n{n}/r{r}"
+                tasks.append(
+                    _task(len(tasks), "e1", name, {"kind": kind, "sites": int(n)})
+                )
+    return tasks
+
+
+def e2_grid(
+    reps: int = 1, measure_s: float = 2.0, **_: object
+) -> list[Task]:
+    """Per-class QoS comparison: every config × seeds."""
+    from repro.experiments.e2_qos import CONFIGS
+
+    tasks = []
+    for config in CONFIGS:
+        for r in range(reps):
+            name = f"e2/{config}/r{r}"
+            tasks.append(
+                _task(len(tasks), "e2", name,
+                      {"config": config, "measure_s": measure_s})
+            )
+    return tasks
+
+
+def e5_grid(
+    reps: int = 1, measure_s: float = 2.0, **_: object
+) -> list[Task]:
+    """SLA ablation chain: every stage × seeds."""
+    from repro.experiments.e5_sla import STAGES
+
+    tasks = []
+    for stage in STAGES:
+        for r in range(reps):
+            name = f"e5/{stage}/r{r}"
+            tasks.append(
+                _task(len(tasks), "e5", name,
+                      {"stage": stage, "measure_s": measure_s})
+            )
+    return tasks
+
+
+GRIDS = {"e1": e1_grid, "e2": e2_grid, "e5": e5_grid}
+
+
+def build_grid(
+    grid: str,
+    reps: int = 1,
+    measure_s: float = 2.0,
+    sites: Sequence[int] = (10, 50, 100, 200),
+) -> list[Task]:
+    """Build one named grid, or the concatenation for ``"all"``."""
+    names = list(GRIDS) if grid == "all" else [grid]
+    tasks: list[Task] = []
+    for name in names:
+        for t in GRIDS[name](reps=reps, measure_s=measure_s, sites=sites):
+            tasks.append(dict(t, index=len(tasks)))
+    return tasks
+
+
+def smoke_grid() -> list[Task]:
+    """A seconds-scale grid for CI: one task per scenario family."""
+    tasks = [
+        _task(0, "e1", "smoke/e1/mpls/n10/r0", {"kind": "mpls", "sites": 10}),
+        _task(1, "e2", "smoke/e2/mpls-diffserv/r0",
+              {"config": "mpls-diffserv", "measure_s": 0.5}),
+        _task(2, "e5", "smoke/e5/full/r0",
+              {"stage": "full", "measure_s": 0.5}),
+    ]
+    return tasks

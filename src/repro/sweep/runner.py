@@ -1,0 +1,260 @@
+"""Parallel experiment sweep runner.
+
+A *sweep* is a grid of independent experiment runs — scenario × parameter
+× seed — fanned out across worker processes and merged into one report.
+The single-process experiment harnesses (``repro.experiments.*``) stay
+untouched; each sweep task calls one of their seeded entry points with an
+explicit seed, so a task's result depends only on its task description,
+never on which worker ran it or in what order.
+
+Design rules that make the merged report reproducible:
+
+* **Seeds are derived, not drawn.**  Each task's seed is
+  ``crc32(task name)`` — a pure function of the grid, identical in every
+  process.  Python's ``hash()`` is salted per process and must never be
+  used for this.
+* **Results are merged by task index**, so the report is byte-identical
+  whether it was produced by 1 worker or 8.
+* **Timing is quarantined.**  Wall-clock numbers (including the
+  ``wall_s`` fields inside the E1 census dicts) live under ``timing`` /
+  per-task ``wall_s``; the ``rows`` section holds only deterministic
+  values and is what the determinism test compares.
+* **Failures are data.**  A task that raises is reported (name, index,
+  traceback) without sinking the sweep; the report's ``failed`` list and
+  a non-zero CLI exit code carry the news.
+
+Workers run with the per-packet ``ClassStats``/drop-hook counters
+switched off (:func:`repro.obs.runtime.set_packet_counters`) — the sweep
+fast path — unless telemetry manifests were requested, in which case the
+counters stay on so the scraped metrics are meaningful.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+import zlib
+from typing import Any, Callable, Sequence
+
+__all__ = ["Task", "task_seed", "run_sweep", "SCHEMA_ID"]
+
+SCHEMA_ID = "repro.sweep/1"
+
+# A task is a plain picklable dict:
+#   {"index": int, "name": str, "scenario": str, "params": {...}, "seed": int}
+Task = dict
+
+
+def task_seed(name: str) -> int:
+    """Deterministic per-task seed: a pure function of the task name.
+
+    ``zlib.crc32`` rather than ``hash()`` — the latter is salted per
+    process, which would give every worker a different grid.
+    """
+    return zlib.crc32(name.encode("utf-8")) & 0x7FFFFFFF
+
+
+# ----------------------------------------------------------------------
+# Scenario adapters: map a task's params onto one seeded experiment entry
+# point and flatten the result into JSON-able rows.  Each returns
+# ``(rows, timing)`` — deterministic vs wall-clock — and must stay a
+# module-level function so tasks pickle across process boundaries.
+
+
+def _scenario_e1(params: dict, seed: int) -> tuple[list[dict], dict]:
+    from repro.experiments.e1_scalability import mpls_census, overlay_census
+
+    fn = overlay_census if params["kind"] == "overlay" else mpls_census
+    census = dict(fn(params["sites"], seed=seed))
+    # The census times its own provisioning; that is measurement, not
+    # result — keep it out of the deterministic rows.
+    timing = {"wall_s": census.pop("wall_s", None)}
+    return [{"kind": params["kind"], "seed": seed, **census}], timing
+
+
+def _scenario_e2(params: dict, seed: int) -> tuple[list[dict], dict]:
+    from repro.experiments.e2_qos import run_config
+
+    result = run_config(
+        params["config"], seed=seed, measure_s=params.get("measure_s", 2.0)
+    )
+    rows = [
+        {"config": params["config"], "seed": seed, **result[flow].row()}
+        for flow in ("voice", "data", "bulk")
+    ]
+    return rows, {}
+
+
+def _scenario_e5(params: dict, seed: int) -> tuple[list[dict], dict]:
+    from repro.experiments.e5_sla import run_stage
+
+    result = run_stage(
+        params["stage"], seed=seed, measure_s=params.get("measure_s", 2.0)
+    )
+    rows = []
+    for flow, sla in (("voice", "voice_sla"), ("data", "data_sla"), ("bulk", None)):
+        row = {"stage": params["stage"], "seed": seed, **result[flow].row()}
+        row["sla"] = (
+            "n/a" if sla is None
+            else ("PASS" if result[sla].conformant else "FAIL")
+        )
+        rows.append(row)
+    return rows, {}
+
+
+SCENARIOS: dict[str, Callable[[dict, int], tuple[list[dict], dict]]] = {
+    "e1": _scenario_e1,
+    "e2": _scenario_e2,
+    "e5": _scenario_e5,
+}
+
+
+# ----------------------------------------------------------------------
+# Worker side.
+
+
+def _worker_init(collect_telemetry: bool) -> None:
+    """Pool initializer: arm the sweep fast path in this worker."""
+    from repro.obs import runtime
+
+    if not collect_telemetry:
+        runtime.set_packet_counters(False)
+
+
+def _run_task(task: Task) -> dict:
+    """Execute one task; never raises — failures come back as data."""
+    t0 = time.perf_counter()
+    out: dict[str, Any] = {
+        "index": task["index"],
+        "name": task["name"],
+        "ok": True,
+        "rows": [],
+        "timing": {},
+    }
+    manifests: list[dict] = []
+    telemetry = task.get("telemetry", False)
+    if telemetry:
+        from repro.obs import runtime
+
+        runtime.reset()
+        runtime.enable(profile=False)
+    try:
+        scenario = SCENARIOS[task["scenario"]]
+        rows, timing = scenario(task["params"], task["seed"])
+        out["rows"] = rows
+        out["timing"] = timing
+        if telemetry:
+            from repro.obs import runtime
+
+            for session in runtime.sessions():
+                manifests.append(session.manifest(config={"task": task["name"]}))
+    except Exception:
+        out["ok"] = False
+        out["error"] = traceback.format_exc()
+    finally:
+        if telemetry:
+            from repro.obs import runtime
+
+            runtime.reset()
+    out["wall_s"] = time.perf_counter() - t0
+    out["manifests"] = manifests
+    out["pid"] = os.getpid()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Driver side.
+
+
+def run_sweep(
+    tasks: Sequence[Task],
+    workers: int = 1,
+    telemetry: bool = False,
+) -> dict:
+    """Fan ``tasks`` across ``workers`` processes; merge one report.
+
+    ``workers=1`` runs inline (no pool) — useful under coverage, in
+    restricted environments, and as the determinism baseline the
+    multi-worker path is tested against.
+    """
+    tasks = [dict(t, telemetry=telemetry) for t in tasks]
+    t0 = time.perf_counter()
+    if workers <= 1 or len(tasks) <= 1:
+        from repro.obs import runtime
+
+        if not telemetry:
+            runtime.set_packet_counters(False)
+        try:
+            results = [_run_task(t) for t in tasks]
+        finally:
+            runtime.set_packet_counters(True)
+    else:
+        # fork keeps the already-imported package (no PYTHONPATH replay
+        # in children) and is the default start method on Linux anyway.
+        ctx = multiprocessing.get_context("fork")
+        with ctx.Pool(
+            processes=workers,
+            initializer=_worker_init,
+            initargs=(telemetry,),
+        ) as pool:
+            results = pool.map(_run_task, tasks, chunksize=1)
+    wall = time.perf_counter() - t0
+
+    # pool.map preserves order, but the report's contract is "sorted by
+    # task index", independent of how the work was scheduled.
+    results.sort(key=lambda r: r["index"])
+
+    rows: list[dict] = []
+    failed: list[dict] = []
+    manifests: list[dict] = []
+    per_task_timing: list[dict] = []
+    for res in results:
+        if res["ok"]:
+            rows.extend(res["rows"])
+        else:
+            failed.append(
+                {"index": res["index"], "name": res["name"], "error": res["error"]}
+            )
+        manifests.extend(res["manifests"])
+        per_task_timing.append(
+            {
+                "index": res["index"],
+                "name": res["name"],
+                "wall_s": res["wall_s"],
+                "pid": res["pid"],
+                **{k: v for k, v in res["timing"].items() if v is not None},
+            }
+        )
+
+    report: dict[str, Any] = {
+        "schema": SCHEMA_ID,
+        "workers": workers,
+        "tasks": len(tasks),
+        "ok": len(tasks) - len(failed),
+        "failed": failed,
+        "rows": rows,
+        "timing": {"wall_s": wall, "per_task": per_task_timing},
+    }
+    if telemetry:
+        report["manifests"] = manifests
+    return report
+
+
+def deterministic_view(report: dict) -> dict:
+    """The worker-count-invariant slice of a sweep report.
+
+    Strips everything measured rather than computed (wall clocks, pids,
+    worker count, telemetry manifests).  Two sweeps over the same grid —
+    any number of workers — must agree on this view exactly.
+    """
+    return {
+        "schema": report["schema"],
+        "tasks": report["tasks"],
+        "ok": report["ok"],
+        "failed": [
+            {"index": f["index"], "name": f["name"]} for f in report["failed"]
+        ],
+        "rows": report["rows"],
+    }

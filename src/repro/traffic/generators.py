@@ -6,6 +6,14 @@ data needs AF (bursty on–off), and bulk/best-effort fills whatever is left
 (greedy CBR at overload).  Generators are event-driven — each emission
 schedules the next — and take a named RNG stream so traffic is identical
 across configuration A/B runs (see repro.sim.randomness).
+
+Packet shells come from the process-wide :data:`repro.net.packet.POOL`
+freelist while :data:`POOLING` is on (the default); delivered packets are
+recycled by ``Node.deliver_local``.  ``reference_stack`` flips the flag
+off so the pre-PR allocation behaviour can be benchmarked against.
+Sources emitting back-to-back trains can pass ``burst > 1`` to amortise
+one scheduler event over the whole train instead of paying one per
+packet.
 """
 
 from __future__ import annotations
@@ -15,8 +23,12 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.net.address import IPv4Address
-from repro.net.packet import IPHeader, Packet
+from repro.net.packet import POOL, IPHeader, Packet
 from repro.sim.engine import Simulator
+
+#: When True (default) sources acquire packet shells from the freelist;
+#: benchmarks flip this off to measure the pre-pool allocation cost.
+POOLING = True
 
 __all__ = [
     "TrafficSource",
@@ -63,6 +75,7 @@ class TrafficSource:
         proto: str = "udp",
         src_port: int = 0,
         dst_port: int = 0,
+        burst: int = 1,
     ) -> None:
         self.sim = sim
         self._send = send
@@ -74,6 +87,9 @@ class TrafficSource:
         self.proto = proto
         self.src_port = src_port
         self.dst_port = dst_port
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.burst = burst
         self.sent = 0
         self.bytes_sent = 0
         self._running = False
@@ -90,6 +106,27 @@ class TrafficSource:
         self._running = False
 
     # ------------------------------------------------------------------
+    def _make_packet(self, now: float) -> Packet:
+        header = IPHeader(
+            src=self.src,
+            dst=self.dst,
+            dscp=self.dscp,
+            proto=self.proto,
+            src_port=self.src_port,
+            dst_port=self.dst_port,
+        )
+        if POOLING:
+            return POOL.acquire(
+                header, self.payload_bytes, self.flow, self.sent, now
+            )
+        return Packet(
+            ip=header,
+            payload_bytes=self.payload_bytes,
+            flow=self.flow,
+            seq=self.sent,
+            created=now,
+        )
+
     def _emit(self) -> None:
         if not self._running:
             return
@@ -97,24 +134,20 @@ class TrafficSource:
         if self._stop_at is not None and now >= self._stop_at:
             self._running = False
             return
-        pkt = Packet(
-            ip=IPHeader(
-                src=self.src,
-                dst=self.dst,
-                dscp=self.dscp,
-                proto=self.proto,
-                src_port=self.src_port,
-                dst_port=self.dst_port,
-            ),
-            payload_bytes=self.payload_bytes,
-            flow=self.flow,
-            seq=self.sent,
-            created=now,
-        )
-        self.sent += 1
-        self.bytes_sent += pkt.wire_bytes
-        self._send(pkt)
-        gap = self.next_gap()
+        # One wake-up emits the whole burst (a back-to-back train shares
+        # the timestamp) and schedules a single follow-up event; the gaps
+        # the train would have consumed are summed into that one delay.
+        gap: Optional[float] = None
+        for _ in range(self.burst):
+            pkt = self._make_packet(now)
+            self.sent += 1
+            self.bytes_sent += pkt.wire_bytes
+            self._send(pkt)
+            step = self.next_gap()
+            if step is None:
+                gap = None
+                break
+            gap = step if gap is None else gap + step
         if gap is not None:
             self.sim.schedule(gap, self._emit)
 

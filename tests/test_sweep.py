@@ -1,0 +1,91 @@
+"""Sweep runner: determinism across worker counts, failure reporting."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.obs import runtime
+from repro.sweep import (
+    build_grid,
+    deterministic_view,
+    run_sweep,
+    smoke_grid,
+    task_seed,
+)
+
+
+def _small_grid():
+    # One task per scenario family, seconds-scale: enough to exercise
+    # every adapter without making the suite slow.
+    return smoke_grid()
+
+
+def test_worker_count_is_invisible_in_results() -> None:
+    """1 worker vs 4 workers over the same grid → identical reports
+    (modulo timing), even on a box with fewer than 4 cores."""
+    solo = run_sweep(_small_grid(), workers=1)
+    quad = run_sweep(_small_grid(), workers=4)
+    assert solo["ok"] == len(_small_grid())
+    assert deterministic_view(solo) == deterministic_view(quad)
+
+
+def test_task_seeds_are_grid_derived() -> None:
+    """Seeds are a pure function of the task name — no process salt."""
+    assert task_seed("e2/mpls-diffserv/r0") == task_seed("e2/mpls-diffserv/r0")
+    assert task_seed("e2/mpls-diffserv/r0") != task_seed("e2/mpls-diffserv/r1")
+    a = build_grid("e2", reps=2)
+    b = build_grid("e2", reps=2)
+    assert a == b
+    assert len({t["seed"] for t in a}) == len(a)  # all distinct here
+
+
+def test_grid_shapes() -> None:
+    e1 = build_grid("e1", reps=1, sites=(10, 20))
+    assert len(e1) == 4  # 2 kinds × 2 site counts
+    e5 = build_grid("e5", reps=2)
+    assert len(e5) == 8  # 4 stages × 2 reps
+    both = build_grid("all", reps=1, sites=(10,))
+    assert [t["index"] for t in both] == list(range(len(both)))
+
+
+def test_failures_are_reported_not_raised() -> None:
+    tasks = _small_grid()[:1]
+    tasks.append({
+        "index": 1, "name": "broken/task", "scenario": "no-such-scenario",
+        "params": {}, "seed": 1,
+    })
+    report = run_sweep(tasks, workers=2)
+    assert report["ok"] == 1
+    assert len(report["failed"]) == 1
+    assert report["failed"][0]["name"] == "broken/task"
+    assert "no-such-scenario" in report["failed"][0]["error"]
+    # The healthy task's rows still made it into the merge.
+    assert report["rows"]
+
+
+def test_inline_sweep_restores_packet_counters() -> None:
+    assert runtime.packet_counters_enabled()
+    run_sweep(_small_grid()[:1], workers=1)
+    assert runtime.packet_counters_enabled()
+
+
+def test_telemetry_manifests_are_merged() -> None:
+    tasks = [t for t in _small_grid() if t["scenario"] == "e2"]
+    report = run_sweep(tasks, workers=1, telemetry=True)
+    assert report["ok"] == len(tasks)
+    assert len(report["manifests"]) >= len(tasks)
+    m = report["manifests"][0]
+    assert m["config"]["task"] == tasks[0]["name"]
+    assert m["sim"]["events_processed"] > 0
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork start method")
+def test_multiprocess_rows_match_inline_rows() -> None:
+    """The mp path must not perturb seeding: row-for-row equality."""
+    grid = build_grid("e5", reps=1, measure_s=0.5)
+    solo = run_sweep(grid, workers=1)
+    multi = run_sweep(grid, workers=3)
+    assert solo["rows"] == multi["rows"]
+    assert not solo["failed"] and not multi["failed"]
