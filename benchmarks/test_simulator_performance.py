@@ -12,8 +12,15 @@ as a workflow artifact so forwarding throughput is tracked across runs.
 """
 
 import json
+import os
 from pathlib import Path
+from time import perf_counter
 
+import pytest
+
+from repro.mpls import Lsr, run_ldp
+from repro.obs import runtime
+from repro.qos.queues import DropTailFifo
 from repro.routing.spf import converge
 from repro.sim.engine import Simulator
 from repro.topology import Network, attach_host, build_line
@@ -21,6 +28,38 @@ from repro.traffic.generators import CbrSource
 from repro.traffic.sink import FlowSink
 
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_forwarding.json"
+
+# ISSUE 5 acceptance: batched forwarding ≥1.5× over the scalar path on a
+# high fan-in workload (many flows sharing one core LSP).  CI runs this
+# with BENCH_PERF_NONBLOCKING=1 (shared-runner timing noise), which turns
+# a floor miss into xfail while still recording the measured number.
+MIN_BATCH_SPEEDUP = 1.5
+_SOFT_FLOORS = os.environ.get("BENCH_PERF_NONBLOCKING") == "1"
+
+
+def _require_floor(speedup: float, floor: float, msg: str) -> None:
+    if speedup >= floor:
+        return
+    if _SOFT_FLOORS:
+        pytest.xfail(msg)
+    pytest.fail(msg)
+
+
+def _best_of_pair(fn_new, fn_ref, rounds: int) -> tuple[float, float]:
+    """Best-of-``rounds`` wall clock for both sides, interleaved so slow
+    drift (thermal throttling, background load) lands on both."""
+    best_new = best_ref = float("inf")
+    for i in range(rounds):
+        order = (fn_new, fn_ref) if i % 2 == 0 else (fn_ref, fn_new)
+        for fn in order:
+            t0 = perf_counter()
+            fn()
+            dt = perf_counter() - t0
+            if fn is fn_new:
+                best_new = min(best_new, dt)
+            else:
+                best_ref = min(best_ref, dt)
+    return best_new, best_ref
 
 # Mean wall-clock of test_packet_forwarding_throughput on the commit before
 # the unified ForwardingPipeline (per-hop closures, no flow/label caches),
@@ -107,3 +146,145 @@ def test_packet_forwarding_throughput(benchmark):
             "pre_pipeline_mean_s": PRE_PIPELINE_FORWARDING_MEAN_S,
             "speedup_vs_pre_pipeline": PRE_PIPELINE_FORWARDING_MEAN_S / mean_s,
         })
+
+
+def _high_fanin_run(vector: bool) -> int:
+    """High fan-in MPLS workload: 8 hosts on one ingress LSR, every flow
+    riding the same 4-hop core LSP.  Access and core links are
+    infinite-rate (zero serialization), so the 16-packet trains the
+    sources emit keep one shared timestamp hop after hop — exactly the
+    arrival pattern burst extraction fuses into ``receive_batch`` bursts.
+    Packet-level behaviour is mode-independent (held to bit-identical
+    traces by ``tests/test_dataplane_batch.py``); only the clock moves.
+    """
+    runtime.set_vector_mode(vector)
+    try:
+        net = Network(seed=11)
+        pe1 = net.add_node(Lsr(net.sim, "pe1"))
+        p1 = net.add_node(Lsr(net.sim, "p1"))
+        p2 = net.add_node(Lsr(net.sim, "p2"))
+        pe2 = net.add_node(Lsr(net.sim, "pe2"))
+        inf = float("inf")
+        # 8 hosts x 16-packet trains converge on pe1 inside one timestamp,
+        # so the transient queue depth reaches 8x16 - 1; deepen the core
+        # queues past that or the default 100-packet FIFO tail-drops.
+        deep = lambda node, ifname: DropTailFifo(capacity_packets=1024)
+        for a, b in ((pe1, p1), (p1, p2), (p2, pe2)):
+            net.connect(a, b, inf, 1e-3, qdisc_factory=deep)
+        txs = [
+            attach_host(net, pe1, f"10.210.{i}.1", name=f"tx{i}", rate_bps=inf)
+            for i in range(8)
+        ]
+        rx = attach_host(net, pe2, "10.211.0.2", name="rx", rate_bps=inf)
+        pe2.interfaces["to-rx"].qdisc.capacity_packets = 1024  # fan-in egress
+        converge(net)
+        run_ldp(net)
+        sink = FlowSink(net.sim).attach(rx)
+        for i, tx in enumerate(txs):
+            src = CbrSource(net.sim, tx.send, f"fan{i}", f"10.210.{i}.1",
+                            "10.211.0.2", payload_bytes=500, rate_bps=8.32e6,
+                            src_port=4000 + i, burst=16)
+            src.start(0.0, stop_at=1.0)
+        net.run(until=1.2)
+        assert p1.lfib.lookups > 0  # the flows really rode the LSP
+        return sum(sink.received(f"fan{i}") for i in range(8))
+    finally:
+        runtime.set_vector_mode(True)
+
+
+def _fanin_ingress_fixture():
+    """The fan-in ingress LSR alone, primed for repeated burst injection:
+    unbounded egress queue (so later rounds never diverge into the drop
+    path) and a busy transmitter after the first packet (the sim never
+    runs during timing, so every subsequent packet is a pure enqueue —
+    identical work on both sides of the comparison)."""
+    net = Network(seed=11)
+    pe1 = net.add_node(Lsr(net.sim, "pe1"))
+    p1 = net.add_node(Lsr(net.sim, "p1"))
+    unbounded = lambda node, ifname: DropTailFifo(capacity_packets=None)
+    net.connect(pe1, p1, float("inf"), 1e-3, qdisc_factory=unbounded)
+    for i in range(8):
+        attach_host(net, pe1, f"10.210.{i}.1", name=f"tx{i}", rate_bps=float("inf"))
+    attach_host(net, p1, "10.211.0.2", name="rx", rate_bps=float("inf"))
+    converge(net)
+    run_ldp(net)
+    return pe1
+
+
+def _mk_fanin_burst(flows: int = 8, per_flow: int = 16) -> list:
+    from repro.net.address import IPv4Address
+    from repro.net.packet import IPHeader, Packet
+
+    dst = IPv4Address.parse("10.211.0.2")
+    items = []
+    for i in range(flows):
+        src = IPv4Address.parse(f"10.210.{i}.1")
+        for s in range(per_flow):
+            pkt = Packet(
+                ip=IPHeader(src, dst, ttl=64, src_port=4000 + i, dst_port=80),
+                payload_bytes=500, flow=f"fan{i}", seq=s,
+            )
+            items.append((pkt, "to-tx0"))
+    return items
+
+
+def test_batched_forwarding_speedup_high_fanin():
+    """Vector fast path vs forced-scalar on the shared-LSP fan-in load.
+
+    Two numbers: the end-to-end wall clock of the full simulation
+    (informational — dominated by the per-packet transmit/propagation
+    event chain, which batching deliberately leaves untouched for
+    parity), and the forwarding-stage ratio the floor is asserted on —
+    ``receive_batch`` vs the scalar ``receive`` loop over identical
+    128-packet fan-in bursts, through the real pipeline (flow/label
+    caches, FTN imposition, egress enqueue).
+    """
+    received = _high_fanin_run(vector=True)
+    assert received == _high_fanin_run(vector=False)  # modes agree exactly
+    assert received > 15_000
+    t_vec_e2e, t_scalar_e2e = _best_of_pair(
+        lambda: _high_fanin_run(True), lambda: _high_fanin_run(False), rounds=3
+    )
+
+    # Forwarding-stage comparison: every burst pre-built outside the
+    # timed region, sides interleaved against drift.
+    pe1 = _fanin_ingress_fixture()
+    rounds, calls = 4, 40
+    vec_rounds = [[_mk_fanin_burst() for _ in range(calls)] for _ in range(rounds)]
+    sca_rounds = [[_mk_fanin_burst() for _ in range(calls)] for _ in range(rounds)]
+    vec_iter, sca_iter = iter(vec_rounds), iter(sca_rounds)
+
+    def run_vec() -> None:
+        batch = pe1.receive_batch
+        for items in next(vec_iter):
+            batch(items)
+
+    def run_scalar() -> None:
+        receive = pe1.receive
+        for items in next(sca_iter):
+            for pkt, ifn in items:
+                receive(pkt, ifn)
+
+    t_vec, t_scalar = _best_of_pair(run_vec, run_scalar, rounds=rounds)
+    npkts = rounds * calls * 128 * 2
+    assert pe1.stats.rx_packets == npkts  # every burst really went through
+    assert pe1.stats.forwarded == npkts
+
+    speedup = t_scalar / t_vec
+    _record("batched_high_fanin", {
+        "flows": 8,
+        "burst": 16,
+        "packets_e2e": received,
+        "e2e_vector_best_s": t_vec_e2e,
+        "e2e_scalar_best_s": t_scalar_e2e,
+        "e2e_speedup_vs_scalar": t_scalar_e2e / t_vec_e2e,
+        "forwarding_vector_best_s": t_vec,
+        "forwarding_scalar_best_s": t_scalar,
+        "speedup_vs_scalar": speedup,
+        "floor": MIN_BATCH_SPEEDUP,
+    })
+    _require_floor(speedup, MIN_BATCH_SPEEDUP, (
+        f"batched high-fan-in forwarding {speedup:.2f}x vs scalar "
+        f"(floor {MIN_BATCH_SPEEDUP}x): vector {t_vec:.3f}s, "
+        f"scalar {t_scalar:.3f}s"
+    ))

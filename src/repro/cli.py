@@ -189,6 +189,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "report (disables the counters-off fast path)")
     sweep.add_argument("--out", metavar="PATH", default=None,
                        help="write the merged report to this JSON file")
+    sweep.add_argument("--spill-dir", metavar="DIR", default=None,
+                       help="directory for per-worker JSONL spill files "
+                            "(multi-worker runs; kept after the merge). "
+                            "Default: a temporary directory, removed "
+                            "once merged")
     return parser
 
 
@@ -260,7 +265,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
             sites=tuple(args.sites),
         )
     print(f"[sweep: {len(tasks)} task(s), {args.workers} worker(s)]")
-    report = run_sweep(tasks, workers=args.workers, telemetry=args.telemetry)
+    report = run_sweep(
+        tasks, workers=args.workers, telemetry=args.telemetry,
+        spill_dir=args.spill_dir,
+    )
 
     if report["rows"]:
         print_table(report["rows"])

@@ -42,6 +42,12 @@ class GenCache:
     secondary:
         Optional second generation source when a decision is derived from
         two tables (the LSR's IP path reads the FIB *and* the FTN).
+    capacity:
+        Optional residency bound.  ``None`` (the default) keeps the cache
+        unbounded as before; with a bound, inserting into a full cache
+        evicts the oldest entry (insertion-order FIFO — cheap, and churn
+        workloads that would thrash any policy are the ones the bound
+        exists for) and counts it in ``evictions``.
 
     ``None`` is not a cacheable value — :meth:`get` returns ``None`` for
     a miss, so negative decisions must be encoded (the flow cache stores
@@ -50,10 +56,12 @@ class GenCache:
 
     __slots__ = (
         "_primary", "_secondary", "_gen_p", "_gen_s", "_entries",
-        "hits", "misses", "invalidations",
+        "hits", "misses", "invalidations", "capacity", "evictions",
     )
 
-    def __init__(self, primary: Any, secondary: Any = None) -> None:
+    def __init__(
+        self, primary: Any, secondary: Any = None, capacity: int | None = None
+    ) -> None:
         self._primary = primary
         self._secondary = secondary
         self._gen_p = primary.generation
@@ -62,6 +70,8 @@ class GenCache:
         self.hits = 0
         self.misses = 0
         self.invalidations = 0
+        self.capacity = capacity
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def get(self, key: int) -> Any:
@@ -90,7 +100,39 @@ class GenCache:
         Callers must :meth:`get` first (the miss refreshes the captured
         generations), which the pipeline's lookup stages always do.
         """
-        self._entries[key] = value
+        entries = self._entries
+        if (
+            self.capacity is not None
+            and len(entries) >= self.capacity
+            and key not in entries
+        ):
+            del entries[next(iter(entries))]
+            self.evictions += 1
+        entries[key] = value
+
+    def sync(self) -> dict[int, Any]:
+        """Refresh the generation guard once and return the live entry dict.
+
+        The batch pipeline calls this per burst and probes the returned
+        dict directly, bumping ``hits``/``misses`` itself so the counters
+        come out exactly as per-packet :meth:`get` calls would (a stale
+        burst counts one invalidation here plus one miss for the first
+        probing packet — same totals as scalar).  Sound only because no
+        source table can mutate mid-burst: control-plane mutations are
+        scheduled events, never run synchronously from packet delivery.
+        Inserts must still go through :meth:`put` so the capacity bound
+        applies.
+        """
+        if self._gen_p != self._primary.generation or (
+            self._secondary is not None
+            and self._gen_s != self._secondary.generation
+        ):
+            self._entries.clear()
+            self._gen_p = self._primary.generation
+            if self._secondary is not None:
+                self._gen_s = self._secondary.generation
+            self.invalidations += 1
+        return self._entries
 
     # ------------------------------------------------------------------
     def clear(self) -> None:
@@ -106,5 +148,6 @@ class GenCache:
             "hits": self.hits,
             "misses": self.misses,
             "invalidations": self.invalidations,
+            "evictions": self.evictions,
             "entries": len(self._entries),
         }

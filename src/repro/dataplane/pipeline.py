@@ -70,6 +70,22 @@ def _resolve_mpls_symbols() -> None:
 
 __all__ = ["ForwardingPipeline", "flow_hash"]
 
+# The stock PeRouter VPN-egress delivery hook, resolved lazily (importing
+# repro.vpn.pe at load time would close the same cycle as the MPLS symbols
+# above).  The batch path inlines VPN egress only when the node's
+# ``vpn_deliver`` is exactly this method — a customized hook always gets
+# the scalar call.
+_PE_VPN_DELIVER: Any = None
+
+
+def _stock_pe_deliver() -> Any:
+    global _PE_VPN_DELIVER
+    if _PE_VPN_DELIVER is None:
+        from repro.vpn.pe import PeRouter
+
+        _PE_VPN_DELIVER = PeRouter._vpn_deliver
+    return _PE_VPN_DELIVER
+
 
 def dscp_to_exp(dscp: int) -> int:
     """Self-replacing lazy alias for :func:`repro.qos.dscp.dscp_to_exp`.
@@ -211,6 +227,307 @@ class ForwardingPipeline:
             self.ip_stage(pkt)
         else:
             self.sim.schedule_call(cost, self.ip_stage, pkt)
+
+    # ------------------------------------------------------------------
+    # Vector fast path
+    # ------------------------------------------------------------------
+    def ingress_batch(self, items: "list[tuple[Packet, str]]") -> None:
+        """Vector entry point (``Router.receive_batch``): one burst, one loop.
+
+        Packets are processed *sequentially in arrival order* through the
+        full per-packet pipeline — TTL, flight-recorder records, drops,
+        and ECMP hashing all happen per packet, so the side-effect
+        sequence is bit-identical to N scalar ``receive`` calls (the
+        parity contract of ``tests/test_dataplane_batch.py``).  The win is
+        amortization: the receive/handle/ingress/stage call frames
+        collapse into one loop, loop-invariant attributes (tables, trace
+        sinks, node policy — none of which can mutate mid-burst, since
+        control-plane work is never run synchronously from packet
+        delivery) are hoisted, and each GenCache is generation-checked
+        once per burst (:meth:`GenCache.sync`) with the loop probing the
+        entry dict directly; hit/miss/lookup counters are bumped to
+        exactly what per-packet ``get`` calls would have recorded.
+
+        Nodes with modeled per-packet CPU cost fall back to the scalar
+        path — their stages go through the scheduler anyway.
+
+        Egress run coalescing: with no flight recorder and no drop
+        subscriber attached, consecutive packets that resolve to the same
+        egress interface are buffered and flushed through one
+        ``Interface.send_batch`` call.  Runs break at every interface
+        change and are flushed before any side path that could touch an
+        interface out of order (``transmit``, VPN egress, local
+        delivery), so per-interface op order — queue occupancy, AQM
+        verdicts, kick timing — is exactly the scalar sequence.  When
+        either observer is attached the per-packet ``send`` path runs
+        instead, keeping the record interleave bit-identical.
+        """
+        node = self.node
+        processing = node.processing
+        if processing.ip_lookup_s > 0.0 or processing.label_lookup_s > 0.0:
+            receive = node.receive
+            for pkt, ifname in items:
+                receive(pkt, ifname)
+            return
+        now = self.sim.now
+        stats = node.stats
+        trace = node.trace
+        fl = trace.flight
+        fa = trace.flows
+        name = node.name
+        addresses = node.addresses
+        interfaces = node.interfaces
+        drop = node.drop
+        deliver_local = node.deliver_local
+        transmit = node.transmit
+        fib = self.fib
+        ftn = self.ftn
+        lfib = self.lfib
+        flow_cache = self.flow_cache
+        flow_entries = flow_cache.sync()
+        voc = self.vrf_of_circuit
+        if lfib is not None:
+            label_cache = self.label_cache
+            label_entries = label_cache.sync()
+            op_swap = LabelOp.SWAP
+            op_pop = LabelOp.POP
+            op_pop_process = LabelOp.POP_PROCESS
+            op_swap_push = LabelOp.SWAP_PUSH
+            op_vpn = LabelOp.VPN
+            implicit_null = IMPLICIT_NULL
+            impose_exp = node.impose_exp
+            vpn_deliver = node.vpn_deliver
+            pe_fast = (
+                self.vrfs is not None
+                and vpn_deliver is not None
+                and getattr(vpn_deliver, "__func__", None) is _stock_pe_deliver()
+            )
+            # Per-burst memo of vrf-name → Vrf object (satellite of the
+            # vector PR): vpn_egress resolved ``vrfs.get`` per packet.
+            # Cross-burst memoization would dodge the Vrf generation
+            # guard, so the memo's lifetime is exactly one burst.
+            vrf_objs: dict[str, Any] = {}
+        else:
+            impose_exp = implicit_null = None
+        vec_tx = fl is None and not trace.active("drop")
+        run_name: str | None = None
+        run_iface: Any = None
+        run_pkts: list[Packet] | None = None
+
+        def tx_cold(pkt: Packet, out: str) -> None:
+            # Run boundary (or scalar fallback): resolve the interface,
+            # flush the open run, start the next one.
+            nonlocal run_name, run_iface, run_pkts
+            iface = interfaces.get(out)
+            if iface is None or iface.link is None:
+                drop(pkt, DropReason.NO_IFACE)
+                return
+            if not vec_tx:
+                stats.forwarded += 1
+                iface.send(pkt)
+                return
+            if run_name is not None:
+                stats.forwarded += len(run_pkts)
+                run_iface.send_batch(run_pkts)
+            run_name = out
+            run_iface = iface
+            run_pkts = [pkt]
+
+        def flush_run() -> None:
+            nonlocal run_name, run_iface, run_pkts
+            if run_name is not None:
+                stats.forwarded += len(run_pkts)
+                run_iface.send_batch(run_pkts)
+                run_name = run_iface = run_pkts = None
+
+        stats.rx_packets += len(items)
+        for pkt, ifname in items:
+            pkt.hops += 1
+            if fl is not None:
+                fl.rx(now, name, pkt, ifname)
+            stack = pkt.mpls_stack
+            if stack:
+                if lfib is None:
+                    drop(pkt, DropReason.LABELED_AT_IP_ROUTER)
+                    continue
+                # ---- label-op stage, probes on the synced entry dict ----
+                to_ip = False
+                while True:
+                    top = stack[-1]
+                    label = top.label
+                    entry = label_entries.get(label)
+                    if entry is None:
+                        label_cache.misses += 1
+                        entry = lfib.lookup(label)
+                        if entry is None:
+                            drop(pkt, DropReason.NO_LABEL)
+                            break
+                        label_cache.put(label, entry)
+                    else:
+                        label_cache.hits += 1
+                        lfib.lookups += 1
+                    op = entry.op
+                    if op is op_swap:
+                        if pkt.decrement_ttl() <= 0:
+                            drop(pkt, DropReason.TTL)
+                            break
+                        if fl is not None:
+                            fl.label_op(now, name, pkt, "swap",
+                                        old=label, new=entry.out_label)
+                        pkt.swap_label(entry.out_label)
+                        out = entry.out_ifname
+                        if out == run_name:
+                            run_pkts.append(pkt)
+                        else:
+                            tx_cold(pkt, out)
+                        break
+                    if op is op_pop:
+                        if pkt.decrement_ttl() <= 0:
+                            drop(pkt, DropReason.TTL)
+                            break
+                        if fl is not None:
+                            fl.label_op(now, name, pkt, "pop", old=label)
+                        pkt.pop_label()
+                        out = entry.out_ifname
+                        if out == run_name:
+                            run_pkts.append(pkt)
+                        else:
+                            tx_cold(pkt, out)
+                        break
+                    if op is op_pop_process:
+                        if fl is not None:
+                            fl.label_op(now, name, pkt, "pop", old=label)
+                        pkt.pop_label()
+                        if stack:
+                            continue  # inner label is also ours
+                        if pkt.ip.dst in addresses:
+                            flush_run()  # sinks may inject traffic
+                            deliver_local(pkt)
+                        else:
+                            to_ip = True
+                        break
+                    if op is op_swap_push:
+                        if pkt.decrement_ttl() <= 0:
+                            drop(pkt, DropReason.TTL)
+                            break
+                        exp = top.exp
+                        if fl is not None:
+                            fl.label_op(now, name, pkt, "swap",
+                                        old=label, new=entry.out_label)
+                            fl.label_op(now, name, pkt, "push",
+                                        new=entry.push_label)
+                        pkt.swap_label(entry.out_label)
+                        pkt.push_label(entry.push_label, exp=exp)
+                        flush_run()  # ordinary transmit may share the run's iface
+                        transmit(pkt, entry.out_ifname)
+                        break
+                    if op is op_vpn:
+                        if fl is not None:
+                            fl.label_op(now, name, pkt, "pop", old=label)
+                        pkt.pop_label()
+                        if not pe_fast:
+                            if vpn_deliver is None:
+                                drop(pkt, DropReason.VPN_LABEL_NO_VRF)
+                            else:
+                                flush_run()  # hook may transmit or deliver
+                                vpn_deliver(pkt, entry.vrf)
+                            break
+                        vrf_name = entry.vrf
+                        vrf = vrf_objs.get(vrf_name)
+                        if vrf is None:
+                            vrf = self.vrfs.get(vrf_name)
+                            if vrf is None:
+                                drop(pkt, DropReason.UNKNOWN_VRF)
+                                break
+                            vrf_objs[vrf_name] = vrf
+                        flush_run()  # VPN egress transmits internally
+                        self._vpn_egress_vrf(pkt, vrf, fa)
+                        break
+                    drop(pkt, DropReason.BAD_LFIB_OP)  # pragma: no cover
+                    break
+                if not to_ip:
+                    continue
+            else:
+                if voc is not None:
+                    vrf = voc.get(ifname)
+                    if vrf is not None:
+                        # ---- customer stage, ``fa`` hoisted per burst ----
+                        if fa is not None:
+                            fa.ingress(name, vrf.name, pkt)
+                        if pkt.decrement_ttl() <= 0:
+                            drop(pkt, DropReason.TTL)
+                            continue
+                        route = self._vrf_lookup(vrf, pkt.ip.dst)
+                        if route is None:
+                            drop(pkt, DropReason.NO_VRF_ROUTE)
+                            continue
+                        flush_run()  # customer egress transmits internally
+                        if route.kind == "local":
+                            transmit(pkt, route.out_ifname)
+                        else:
+                            self.remote_stage(pkt, route)
+                        continue
+                if pkt.ip.dst in addresses:
+                    flush_run()  # sinks may inject traffic
+                    deliver_local(pkt)
+                    continue
+            # ---- ip stage (unlabeled transit, or the POP_PROCESS tail) ----
+            if pkt.decrement_ttl() <= 0:
+                drop(pkt, DropReason.TTL)
+                continue
+            dst = pkt.ip.dst
+            dv = dst.value
+            decision = flow_entries.get(dv)
+            if decision is None:
+                flow_cache.misses += 1
+                if ftn is None:
+                    route = fib.lookup(dst)
+                    nhlfe = None
+                else:
+                    match = fib.lookup_prefix(dst)
+                    if match is None:
+                        route = nhlfe = None
+                    else:
+                        prefix, route = match
+                        nhlfe = ftn.lookup(prefix)
+                flow_cache.put(dv, (route, nhlfe))
+            else:
+                flow_cache.hits += 1
+                route, nhlfe = decision
+                if ftn is None:
+                    fib.lookups += 1
+            if nhlfe is not None:
+                # ---- qos-mark stage (imposition) ----
+                exp = (
+                    impose_exp if impose_exp is not None
+                    else dscp_to_exp(pkt.ip.dscp)
+                )
+                for lbl in nhlfe.labels:
+                    if lbl == implicit_null:
+                        continue
+                    if fl is not None:
+                        fl.label_op(now, name, pkt, "push", new=lbl)
+                    pkt.push_label(lbl, exp=exp)
+                out = nhlfe.out_ifname
+                if out == run_name:
+                    run_pkts.append(pkt)
+                else:
+                    tx_cold(pkt, out)
+                continue
+            if route is None:
+                drop(pkt, DropReason.NO_ROUTE)
+                continue
+            # ---- egress dispatch (per-packet ECMP hash) ----
+            if route.alternates:
+                paths = route.all_paths
+                out = paths[flow_hash(pkt) % len(paths)][0]
+            else:
+                out = route.out_ifname
+            if out == run_name:
+                run_pkts.append(pkt)
+            else:
+                tx_cold(pkt, out)
+        flush_run()
 
     # ------------------------------------------------------------------
     # Label-op stage (MPLS fast path)
@@ -451,7 +768,15 @@ class ForwardingPipeline:
         if vrf is None:
             node.drop(pkt, DropReason.UNKNOWN_VRF)
             return
-        fa = node.trace.flows
+        self._vpn_egress_vrf(pkt, vrf, node.trace.flows)
+
+    def _vpn_egress_vrf(self, pkt: Packet, vrf, fa) -> None:
+        """Egress tail with the VRF already resolved.
+
+        The batch path enters here directly, with ``fa`` hoisted per
+        burst and the VRF object memoized across the burst's packets.
+        """
+        node = self.node
         if fa is not None:
             fa.egress(node.name, vrf.name, pkt)
         route = self._vrf_lookup(vrf, pkt.ip.dst)

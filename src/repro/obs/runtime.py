@@ -29,11 +29,14 @@ __all__ = [
     "reset",
     "set_packet_counters",
     "packet_counters_enabled",
+    "set_vector_mode",
+    "vector_mode_enabled",
 ]
 
 _enabled = False
 _options: dict[str, Any] = {}
 _sessions: list[Telemetry] = []
+_vector_mode = True
 
 
 def enable(**options: Any) -> None:
@@ -101,3 +104,23 @@ def packet_counters_enabled() -> bool:
     from repro.qos import queues
 
     return queues.COUNTERS
+
+
+def set_vector_mode(on: bool) -> None:
+    """Choose the data-plane dispatch for *subsequently built* networks.
+
+    On (the default), ``Network.__init__`` installs the kernel's burst
+    extraction (``repro.net.node.install_vector_dispatch``): same-time
+    arrivals at one node are fused into a ``receive_batch`` vector.  Off
+    forces pure scalar dispatch — the parity oracle.  Both paths are
+    required to produce bit-identical traces (tests/test_dataplane_batch.py),
+    so this switch changes speed, never results.  Existing networks are
+    unaffected; flip their simulator directly via
+    ``install_vector_dispatch``/``remove_vector_dispatch``.
+    """
+    global _vector_mode
+    _vector_mode = bool(on)
+
+
+def vector_mode_enabled() -> bool:
+    return _vector_mode

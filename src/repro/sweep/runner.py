@@ -22,6 +22,15 @@ Design rules that make the merged report reproducible:
 * **Failures are data.**  A task that raises is reported (name, index,
   traceback) without sinking the sweep; the report's ``failed`` list and
   a non-zero CLI exit code carry the news.
+* **Rows never transit the parent heap.**  Multi-worker sweeps spill each
+  task's result as one JSON line to a per-worker file; ``pool.map`` moves
+  only task indices, and the parent merges the spill files by index after
+  the pool drains — a multi-million-row grid costs the parent one result
+  at a time, not the whole pickled grid at once.  The inline (1-worker)
+  path round-trips results through JSON too, so reports stay
+  byte-identical at any worker count.  A missing or truncated spill line
+  (a worker crashed mid-write) is synthesized into a failure row rather
+  than sinking the merge.
 
 Workers run with the per-packet ``ClassStats``/drop-hook counters
 switched off (:func:`repro.obs.runtime.set_packet_counters`) — the sweep
@@ -31,8 +40,11 @@ counters stay on so the scraped metrics are meaningful.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 import traceback
 import zlib
@@ -115,12 +127,21 @@ SCENARIOS: dict[str, Callable[[dict, int], tuple[list[dict], dict]]] = {
 # Worker side.
 
 
-def _worker_init(collect_telemetry: bool) -> None:
+# Per-worker spill file (set by _worker_init in pool children, None in
+# the parent/inline path): results are appended here as JSON lines and
+# only the task index rides back through the pool.
+_SPILL_PATH: str | None = None
+
+
+def _worker_init(collect_telemetry: bool, spill_dir: str | None = None) -> None:
     """Pool initializer: arm the sweep fast path in this worker."""
+    global _SPILL_PATH
     from repro.obs import runtime
 
     if not collect_telemetry:
         runtime.set_packet_counters(False)
+    if spill_dir is not None:
+        _SPILL_PATH = os.path.join(spill_dir, f"worker-{os.getpid()}.jsonl")
 
 
 def _run_task(task: Task) -> dict:
@@ -161,7 +182,56 @@ def _run_task(task: Task) -> dict:
     out["wall_s"] = time.perf_counter() - t0
     out["manifests"] = manifests
     out["pid"] = os.getpid()
+    if _SPILL_PATH is not None:
+        # One line per task, written whole and flushed on close: a worker
+        # dying mid-task loses at most its current (truncated) line, which
+        # the merge synthesizes into a failure row.
+        with open(_SPILL_PATH, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(out, separators=(",", ":")) + "\n")
+        return {"index": out["index"]}
     return out
+
+
+def _merge_spills(spill_dir: str, tasks: Sequence[Task]) -> list[dict]:
+    """Merge per-worker JSONL spill files into index-keyed results.
+
+    A task whose line is missing or truncated — the worker crashed before
+    (or while) spilling — comes back as a synthesized failure result, so
+    a dying worker costs its task, never the sweep.
+    """
+    by_index: dict[int, dict] = {}
+    for entry in sorted(os.listdir(spill_dir)):
+        if not entry.endswith(".jsonl"):
+            continue
+        with open(os.path.join(spill_dir, entry), encoding="utf-8") as fh:
+            for line in fh:
+                if not line.endswith("\n"):
+                    continue  # torn final line: treat as missing
+                try:
+                    res = json.loads(line)
+                except ValueError:
+                    continue
+                by_index[res["index"]] = res
+    results: list[dict] = []
+    for task in tasks:
+        res = by_index.get(task["index"])
+        if res is None:
+            res = {
+                "index": task["index"],
+                "name": task["name"],
+                "ok": False,
+                "error": (
+                    f"worker crashed before spilling a result for task "
+                    f"{task['name']!r}"
+                ),
+                "rows": [],
+                "timing": {},
+                "wall_s": 0.0,
+                "manifests": [],
+                "pid": None,
+            }
+        results.append(res)
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -172,12 +242,16 @@ def run_sweep(
     tasks: Sequence[Task],
     workers: int = 1,
     telemetry: bool = False,
+    spill_dir: str | None = None,
 ) -> dict:
     """Fan ``tasks`` across ``workers`` processes; merge one report.
 
     ``workers=1`` runs inline (no pool) — useful under coverage, in
     restricted environments, and as the determinism baseline the
-    multi-worker path is tested against.
+    multi-worker path is tested against.  Multi-worker runs aggregate
+    through per-worker spill files (module docstring); ``spill_dir``
+    chooses where they live and keeps them after the merge — ``None``
+    uses a temporary directory that is removed once merged.
     """
     tasks = [dict(t, telemetry=telemetry) for t in tasks]
     t0 = time.perf_counter()
@@ -187,19 +261,30 @@ def run_sweep(
         if not telemetry:
             runtime.set_packet_counters(False)
         try:
-            results = [_run_task(t) for t in tasks]
+            # The JSON round-trip pins the inline results to exactly the
+            # types a spill-file merge produces (tuples become lists, ...),
+            # keeping reports byte-identical at any worker count.
+            results = [json.loads(json.dumps(_run_task(t))) for t in tasks]
         finally:
             runtime.set_packet_counters(True)
     else:
         # fork keeps the already-imported package (no PYTHONPATH replay
         # in children) and is the default start method on Linux anyway.
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(
-            processes=workers,
-            initializer=_worker_init,
-            initargs=(telemetry,),
-        ) as pool:
-            results = pool.map(_run_task, tasks, chunksize=1)
+        own_spill = spill_dir is None
+        sdir = tempfile.mkdtemp(prefix="repro-sweep-") if own_spill else spill_dir
+        os.makedirs(sdir, exist_ok=True)
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(
+                processes=workers,
+                initializer=_worker_init,
+                initargs=(telemetry, sdir),
+            ) as pool:
+                pool.map(_run_task, tasks, chunksize=1)
+            results = _merge_spills(sdir, tasks)
+        finally:
+            if own_spill:
+                shutil.rmtree(sdir, ignore_errors=True)
     wall = time.perf_counter() - t0
 
     # pool.map preserves order, but the report's contract is "sorted by

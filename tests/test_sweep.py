@@ -89,3 +89,53 @@ def test_multiprocess_rows_match_inline_rows() -> None:
     multi = run_sweep(grid, workers=3)
     assert solo["rows"] == multi["rows"]
     assert not solo["failed"] and not multi["failed"]
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork start method")
+def test_spill_files_are_written_and_kept(tmp_path) -> None:
+    """An explicit --spill-dir keeps one JSONL file per worker, one line
+    per task, and the merged report equals the inline run exactly."""
+    import json
+
+    tasks = _small_grid()
+    solo = run_sweep(tasks, workers=1)
+    spilled = run_sweep(tasks, workers=2, spill_dir=str(tmp_path))
+    assert deterministic_view(solo) == deterministic_view(spilled)
+    files = sorted(tmp_path.glob("worker-*.jsonl"))
+    assert files  # the pool actually spilled
+    lines = [
+        json.loads(line)
+        for f in files
+        for line in f.read_text().splitlines()
+    ]
+    assert sorted(r["index"] for r in lines) == [t["index"] for t in tasks]
+    assert all(r["ok"] for r in lines)
+
+
+def test_merge_synthesizes_failure_for_missing_and_torn_results(tmp_path) -> None:
+    """A worker that dies mid-spill costs its task, not the sweep: a
+    truncated (no-newline) line and an absent line both come back as
+    synthesized failure rows at their task index."""
+    import json
+
+    from repro.sweep.runner import _merge_spills
+
+    tasks = [
+        {"index": 0, "name": "grid/ok", "scenario": "e2", "params": {}, "seed": 1},
+        {"index": 1, "name": "grid/torn", "scenario": "e2", "params": {}, "seed": 2},
+        {"index": 2, "name": "grid/lost", "scenario": "e2", "params": {}, "seed": 3},
+    ]
+    good = {
+        "index": 0, "name": "grid/ok", "ok": True, "rows": [{"x": 1}],
+        "timing": {}, "wall_s": 0.1, "manifests": [], "pid": 123,
+    }
+    torn = json.dumps({"index": 1, "name": "grid/torn", "ok": True})[:-7]
+    (tmp_path / "worker-1.jsonl").write_text(json.dumps(good) + "\n" + torn)
+    results = _merge_spills(str(tmp_path), tasks)
+    assert [r["index"] for r in results] == [0, 1, 2]
+    assert results[0]["ok"] and results[0]["rows"] == [{"x": 1}]
+    for res, name in ((results[1], "grid/torn"), (results[2], "grid/lost")):
+        assert not res["ok"]
+        assert name in res["error"]
+        assert "crashed" in res["error"]
+        assert res["rows"] == [] and res["manifests"] == []
