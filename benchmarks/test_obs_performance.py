@@ -1,0 +1,185 @@
+"""Observability overhead benchmarks: the SLO engine must be free when off.
+
+ISSUE 6 acceptance: with SLO and span tracing *disabled* (the default),
+the E12a fast-path speedup over the frozen reference stack must hold —
+the new hooks add at most a ``None`` check per delivery and a ``getattr``
+per control-plane event, which is inside clock noise of the PR 5
+baseline (≥2× vs reference, same floor as ``test_engine_performance``;
+the floor holding proves the added overhead is ≤3%, since the baseline
+cleared it with ≥2.06×).  Enabled-mode cost is *measured and recorded*
+(soft floors): live SLO conformance and convergence tracing are priced,
+not free, and ``BENCH_obs.json`` documents the price.
+
+Headline numbers land in ``BENCH_obs.json`` at the repo root (CI uploads
+it as a workflow artifact).
+"""
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.sketch import QuantileSketch
+from repro.sim.reference import reference_stack
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+# Same end-to-end floor as the engine benchmarks: if the observability
+# hooks cost anything material, this stops clearing.
+MIN_E2E_SPEEDUP = 2.0
+# Enabled-mode budget (soft): live SLO may cost at most 30% end to end.
+MAX_SLO_ENABLED_OVERHEAD = 1.30
+
+_SOFT_FLOORS = os.environ.get("BENCH_PERF_NONBLOCKING") == "1"
+
+
+def _require_floor(speedup: float, floor: float, msg: str, soft: bool = False) -> None:
+    if speedup >= floor:
+        return
+    if _SOFT_FLOORS or soft:
+        pytest.xfail(msg)
+    pytest.fail(msg)
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one benchmark's results into BENCH_obs.json."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text())
+        except ValueError:
+            data = {}
+    data[section] = payload
+    BENCH_JSON.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _best_of_pair(fn_new, fn_ref, rounds: int) -> tuple[float, float]:
+    """Best-of-``rounds`` wall clock for both sides, interleaved so slow
+    drift (thermal throttling, background load) lands on both."""
+    best_new = best_ref = float("inf")
+    for i in range(rounds):
+        order = (fn_new, fn_ref) if i % 2 == 0 else (fn_ref, fn_new)
+        for fn in order:
+            t0 = perf_counter()
+            fn()
+            dt = perf_counter() - t0
+            if fn is fn_new:
+                best_new = min(best_new, dt)
+            else:
+                best_ref = min(best_ref, dt)
+    return best_new, best_ref
+
+
+def test_disabled_slo_and_spans_keep_fast_path_floor():
+    """The acceptance case: hooks off, E12a speedup vs reference holds.
+
+    The PR 5 baseline cleared ≥2× on this scenario before the SLO/span
+    hooks existed; still clearing the same floor bounds the disabled-mode
+    overhead well under the 3% budget."""
+    from repro.experiments.e12_elastic import run_e12a_aqm
+
+    def run_new():
+        runtime.set_packet_counters(False)
+        try:
+            run_e12a_aqm()
+        finally:
+            runtime.set_packet_counters(True)
+
+    def run_ref():
+        with reference_stack():
+            run_e12a_aqm()
+
+    t_new, t_ref = _best_of_pair(run_new, run_ref, rounds=4)
+    speedup = t_ref / t_new
+    _record("disabled_overhead_e12a", {
+        "new_s": t_new,
+        "reference_s": t_ref,
+        "speedup": speedup,
+        "min_required": MIN_E2E_SPEEDUP,
+        "note": "SLO engine + convergence tracer detached (default)",
+    })
+    _require_floor(speedup, MIN_E2E_SPEEDUP, (
+        f"e12a speedup with obs hooks disabled {speedup:.2f}x < "
+        f"{MIN_E2E_SPEEDUP}x (new {t_new:.3f} s vs reference {t_ref:.3f} s) "
+        f"— the SLO/span hooks are no longer off-path"
+    ))
+
+
+def test_slo_enabled_overhead_documented():
+    """Price of live SLO conformance on E5 (streaming on vs off)."""
+    from repro.experiments.e5_sla import run_stage
+
+    def run_off():
+        run_stage("full", measure_s=2.0, streaming=False)
+
+    def run_on():
+        run_stage("full", measure_s=2.0, streaming=True)
+
+    t_off, t_on = _best_of_pair(run_off, run_on, rounds=3)
+    overhead = t_on / t_off
+    _record("slo_enabled_e5", {
+        "streaming_off_s": t_off,
+        "streaming_on_s": t_on,
+        "overhead": overhead,
+        "max_budget": MAX_SLO_ENABLED_OVERHEAD,
+    })
+    # Soft: enabled mode is allowed to cost, the budget just flags drift.
+    _require_floor(MAX_SLO_ENABLED_OVERHEAD, overhead, (
+        f"live SLO engine costs {overhead:.2f}x on e5 "
+        f"(budget {MAX_SLO_ENABLED_OVERHEAD}x)"
+    ), soft=True)
+
+
+def test_span_tracing_enabled_overhead_documented():
+    """Price of convergence tracing on an E11 flap (spans on vs off)."""
+    from repro.experiments.e11_resilience import run_variant
+
+    def run_off():
+        run_variant("igp-tuned", "igp", 1.0, measure_s=4.0)
+
+    def run_on():
+        run_variant("igp-tuned", "igp", 1.0, measure_s=4.0, trace_spans=True)
+
+    t_off, t_on = _best_of_pair(run_off, run_on, rounds=3)
+    overhead = t_on / t_off
+    _record("spans_enabled_e11", {
+        "tracing_off_s": t_off,
+        "tracing_on_s": t_on,
+        "overhead": overhead,
+        "note": "includes the healing probe stream the tracer injects",
+    })
+    # The tracer's per-event cost is negligible; the healing probe is the
+    # real (and intended) cost.  Record only; 2x is a drift tripwire.
+    _require_floor(2.0, overhead, (
+        f"convergence tracing costs {overhead:.2f}x on e11 (tripwire 2x)"
+    ), soft=True)
+
+
+def test_sketch_insert_throughput():
+    """Streaming quantile sketch: inserts must stay cheap enough to ride
+    the delivery path (soft floor: ≥1M inserts/s on any modern box)."""
+    n = 200_000
+    sk = QuantileSketch(k=2048)
+    values = [(i * 2654435761 % 1000003) / 1000003.0 for i in range(n)]
+    t0 = perf_counter()
+    insert = sk.insert
+    for v in values:
+        insert(v)
+    dt = perf_counter() - t0
+    rate = n / dt
+    # One query amortises the materialisation cost into the number.
+    q = sk.query(99.0)
+    _record("sketch_insert_throughput", {
+        "inserts": n,
+        "wall_s": dt,
+        "inserts_per_sec": rate,
+        "retained": sk.retained,
+        "p99_sample": q,
+    })
+    assert sk.retained < 16 * 2048  # bounded memory held
+    _require_floor(rate, 1e6, (
+        f"sketch insert throughput {rate:.0f}/s < 1M/s"
+    ), soft=True)

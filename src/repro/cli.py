@@ -184,6 +184,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default=[10, 50, 100, 200], help="site counts for e1")
     sweep.add_argument("--smoke", action="store_true",
                        help="run the seconds-scale CI smoke grid instead")
+    sweep.add_argument("--slo", action="store_true",
+                       help="attach the live streaming SLO engine to e5 "
+                            "tasks: adds slo/slo_p99_ms/slo_viol_s columns "
+                            "and one (slo-summary) row per task")
     sweep.add_argument("--telemetry", action="store_true",
                        help="collect per-task telemetry manifests into the "
                             "report (disables the counters-off fast path)")
@@ -194,6 +198,29 @@ def build_parser() -> argparse.ArgumentParser:
                             "(multi-worker runs; kept after the merge). "
                             "Default: a temporary directory, removed "
                             "once merged")
+
+    slo = sub.add_parser(
+        "slo",
+        help="live SLO report + convergence trace",
+        description="Run the E5 SLA chain with the streaming SLO engine "
+                    "attached (live windowed conformance next to the batch "
+                    "verdicts) and a scripted E11 link flap under the "
+                    "convergence tracer (control-plane vs data-plane "
+                    "healing time).",
+    )
+    slo.add_argument("--stage", choices=["none", "cbq-only", "core-only", "full"],
+                     default="full", help="E5 ablation stage (default full)")
+    slo.add_argument("--measure", type=float, default=6.0,
+                     help="E5 measurement window in simulated seconds")
+    slo.add_argument("--smoke", action="store_true",
+                     help="seconds-scale CI variant: short windows, "
+                          "igp-tuned flap only")
+    slo.add_argument("--spans", metavar="PATH", default=None,
+                     help="write the convergence span trace as JSONL "
+                          "(validated against repro.spans/v1)")
+    slo.add_argument("--json", metavar="PATH", default=None,
+                     help="write the combined SLO + convergence summary "
+                          "as one JSON document")
     return parser
 
 
@@ -207,6 +234,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _show_telemetry(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "slo":
+        return _run_slo(args)
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     recording = args.telemetry is not None
@@ -262,7 +291,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     else:
         tasks = build_grid(
             args.grid, reps=args.reps, measure_s=args.measure,
-            sites=tuple(args.sites),
+            sites=tuple(args.sites), slo=args.slo,
         )
     print(f"[sweep: {len(tasks)} task(s), {args.workers} worker(s)]")
     report = run_sweep(
@@ -284,6 +313,97 @@ def _run_sweep(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"[sweep report -> {args.out}]")
     return 0 if not report["failed"] else 1
+
+
+def _run_slo(args: argparse.Namespace) -> int:
+    """``repro slo``: streaming SLA conformance + convergence tracing."""
+    from repro.experiments.e5_sla import run_stage
+    from repro.experiments.e11_resilience import run_variant
+    from repro.obs.schema import validate_spans
+
+    measure = 1.0 if args.smoke else args.measure
+    doc: dict[str, Any] = {"kind": "slo-report", "stage": args.stage}
+
+    # --- E5: live windowed conformance next to the batch verdicts ------
+    print(f"\n=== slo: e5 stage={args.stage!r} measure={measure}s ===")
+    result = run_stage(args.stage, measure_s=measure, streaming=True)
+    print_table(result["slo"]["rows"], title="streaming SLO state per stream")
+    verdicts = []
+    for flow, batch_key in (("voice", "voice_sla"), ("data", "data_sla")):
+        live = result["slo"][flow]
+        batch = result[batch_key]
+        verdicts.append({
+            "flow": flow,
+            "spec": live.spec.name,
+            "streaming": "PASS" if live.conformant else "FAIL",
+            "batch": "PASS" if batch.conformant else "FAIL",
+            "agree": live.conformant == batch.conformant,
+        })
+    print_table(verdicts, title="streaming verdict vs batch oracle")
+    doc["e5"] = {
+        "rows": result["slo"]["rows"],
+        "verdicts": verdicts,
+        "summary": result["slo"]["engine"].summary(),
+    }
+
+    # --- E11: scripted link flap under the convergence tracer ----------
+    variants = (
+        [("igp-tuned", "igp", 1.0)]
+        if args.smoke
+        else [("igp-tuned", "igp", 1.0), ("frr", "frr", 0.050)]
+    )
+    span_docs: list[dict[str, Any]] = []
+    doc["e11"] = {}
+    for name, mode, delay in variants:
+        flap = run_variant(name, mode, delay, measure_s=4.0, trace_spans=True)
+        tracer = flap["tracer"]
+        rows = [
+            {
+                "trace": s.trace_id,
+                "span": s.span_id,
+                "parent": s.parent_id or "-",
+                "kind": s.kind,
+                "name": s.name,
+                "t_start_s": round(s.t_start_s, 4),
+                "t_end_s": round(s.t_end_s, 4),
+            }
+            for s in tracer.spans
+        ]
+        print_table(rows, title=f"convergence spans: {name}")
+        summary = tracer.summary()
+        for trace in summary["traces"]:
+            cp, dp = trace["cp_healing_s"], trace["dp_healing_s"]
+            print(f"[{name} {trace['link']}: control-plane healed in "
+                  f"{cp:.3f}s, data plane in {dp:.3f}s]"
+                  if cp is not None and dp is not None else
+                  f"[{name} {trace['link']}: incomplete trace]")
+        span_docs.extend(tracer.span_docs())
+        doc["e11"][name] = {
+            "outage_s": flap["outage_s"],
+            "summary": summary,
+            "healing": flap["healing"],
+        }
+
+    if args.spans:
+        problems = validate_spans(span_docs)
+        if problems:
+            print("[spans: schema validation FAILED]")
+            for p in problems:
+                print(f"  - {p}")
+            return 1
+        with open(args.spans, "w") as fh:
+            for span in span_docs:
+                fh.write(json.dumps(span, separators=(",", ":")) + "\n")
+        print(f"[{len(span_docs)} span(s) -> {args.spans}]")
+
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"[slo report -> {args.json}]")
+
+    disagreements = [v for v in verdicts if not v["agree"]]
+    return 0 if not disagreements else 1
 
 
 def _show_telemetry(args: argparse.Namespace) -> int:

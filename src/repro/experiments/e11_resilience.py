@@ -59,10 +59,27 @@ def _build(seed: int) -> dict[str, Any]:
 def run_variant(
     name: str, mode: str, recovery_delay_s: float,
     seed: int = 111, measure_s: float = 10.0,
+    trace_spans: bool = False,
 ) -> dict[str, Any]:
-    """One recovery regime; returns loss accounting around the failure."""
+    """One recovery regime; returns loss accounting around the failure.
+
+    With ``trace_spans=True`` a :class:`repro.obs.spans.ConvergenceTracer`
+    records the causal chain from the link-state change through the
+    control-plane repair to the first correctly-forwarded healing probe at
+    ``rx`` — the data-plane-observed healing time.  The result then gains
+    ``"tracer"``, ``"spans"`` and ``"healing"`` entries.
+    """
     ctx = _build(seed)
     net = ctx["net"]
+
+    tracer = None
+    if trace_spans:
+        from repro.obs.spans import ConvergenceTracer
+
+        tracer = ConvergenceTracer(net).attach()
+        tracer.add_watch(
+            ctx["tx"], ctx["rx"], "10.110.0.1", "10.110.0.2", label=name,
+        )
 
     if mode == "frr":
         te = TrafficEngineering(net)
@@ -98,7 +115,7 @@ def run_variant(
     rec = sink.record("probe")
     lost = src.sent - rec.count
     pkt_rate = FLOW_BPS / ((500 + 20) * 8)
-    return {
+    result = {
         "variant": name,
         "recovery_delay_s": recovery_delay_s,
         "sent": src.sent,
@@ -107,6 +124,11 @@ def run_variant(
         "outage_s": lost / pkt_rate,
         "net": net,
     }
+    if tracer is not None:
+        result["tracer"] = tracer
+        result["spans"] = tracer.spans
+        result["healing"] = [w.healings for w in tracer.watches]
+    return result
 
 
 def run_e11(seed: int = 111, measure_s: float = 10.0) -> tuple[list[dict[str, Any]], dict[str, Any]]:

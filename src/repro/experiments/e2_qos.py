@@ -63,9 +63,28 @@ def _build(config: str, seed: int) -> tuple[Network, Any, Any]:
     return net, src_host, dst_host
 
 
-def run_config(config: str, seed: int = 21, measure_s: float = 8.0) -> dict[str, Any]:
-    """One config's per-class stats + labeled-hop accounting."""
+def run_config(
+    config: str,
+    seed: int = 21,
+    measure_s: float = 8.0,
+    streaming: bool = False,
+) -> dict[str, Any]:
+    """One config's per-class stats + labeled-hop accounting.
+
+    ``streaming=True`` attaches a live :class:`repro.obs.slo.SloEngine`
+    alongside the batch path; the result gains an ``"slo"`` block whose
+    per-flow streaming stats are the parity subject of
+    ``tests/test_obs_sketch.py`` (the batch stats stay the oracle).
+    """
     net, src_host, dst_host = _build(config, seed)
+
+    engine = None
+    if streaming:
+        from repro.obs.slo import SloEngine
+
+        engine = SloEngine(net.sim, window_s=0.5)
+        engine.attach(net)
+
     run = ExperimentRun(net, warmup_s=0.5, measure_s=measure_s)
     sink = run.sink_at(dst_host)
 
@@ -88,13 +107,24 @@ def run_config(config: str, seed: int = 21, measure_s: float = 8.0) -> dict[str,
     )
 
     run.execute(drain_s=1.0)
-    return {
+    result = {
         "config": config,
         "voice": run.stats_for(voice, sink),
         "data": run.stats_for(data, sink),
         "bulk": run.stats_for(bulk, sink),
         "net": net,
     }
+    if engine is not None:
+        engine.finalize()
+        result["slo"] = {
+            "engine": engine,
+            "stats": {
+                "voice": engine.stats("voice", sent=voice.sent, duration_s=measure_s),
+                "data": engine.stats("data", sent=data.sent, duration_s=measure_s),
+                "bulk": engine.stats("bulk", sent=bulk.sent, duration_s=measure_s),
+            },
+        }
+    return result
 
 
 def run_e2_load_sweep(

@@ -111,13 +111,35 @@ def _build(stage: str, seed: int) -> dict[str, Any]:
     }
 
 
-def run_stage(stage: str, seed: int = 41, measure_s: float = 8.0) -> dict[str, Any]:
-    """Run one ablation stage and evaluate the SLAs."""
+def run_stage(
+    stage: str,
+    seed: int = 41,
+    measure_s: float = 8.0,
+    streaming: bool = False,
+) -> dict[str, Any]:
+    """Run one ablation stage and evaluate the SLAs.
+
+    With ``streaming=True`` a live :class:`repro.obs.slo.SloEngine` rides
+    along: the same SLAs are checked continuously from bounded-memory
+    estimators while the batch path below stays the parity oracle, and the
+    result gains an ``"slo"`` block with the streaming verdicts and rows.
+    """
     ctx = _build(stage, seed)
     net = ctx["net"]
     s1, s2, o1, o2 = ctx["s1"], ctx["s2"], ctx["o1"], ctx["o2"]
     h1, h2 = s1.hosts[0], s2.hosts[0]
     b1, b2 = o1.hosts[0], o2.hosts[0]
+
+    engine = None
+    if streaming:
+        from repro.obs.slo import SloEngine
+
+        engine = SloEngine(net.sim, window_s=0.5)
+        engine.bind("voice", VOICE_SLA)
+        engine.bind("data", DATA_SLA)
+        engine.map_node_vrf(h2.name, "corp")
+        engine.map_node_vrf(b2.name, "other")
+        engine.attach(net)
 
     run = ExperimentRun(net, warmup_s=0.5, measure_s=measure_s)
     sink = run.sink_at(h2)
@@ -152,7 +174,7 @@ def run_stage(stage: str, seed: int = 41, measure_s: float = 8.0) -> dict[str, A
     voice_stats = run.stats_for(voice, sink)
     data_stats = run.stats_for(data, sink)
     bulk_stats = run.stats_for(bulk, sink)
-    return {
+    result = {
         "stage": stage,
         "voice": voice_stats,
         "data": data_stats,
@@ -162,6 +184,16 @@ def run_stage(stage: str, seed: int = 41, measure_s: float = 8.0) -> dict[str, A
         "data_sla": evaluate(DATA_SLA, data_stats),
         "net": net,
     }
+    if engine is not None:
+        engine.finalize()
+        # Same duration as run.stats_for so verdicts compare 1:1.
+        result["slo"] = {
+            "engine": engine,
+            "voice": engine.verdict("voice", sent=voice.sent, duration_s=measure_s),
+            "data": engine.verdict("data", sent=data.sent, duration_s=measure_s),
+            "rows": engine.report(),
+        }
+    return result
 
 
 def run_e5(seed: int = 41, measure_s: float = 8.0) -> tuple[list[dict[str, Any]], dict[str, Any]]:

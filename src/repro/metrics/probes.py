@@ -12,10 +12,8 @@ to the ground truth measured on a parallel real flow.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.metrics.sla import SlaSpec, SlaVerdict, evaluate
-from repro.metrics.stats import FlowStats, summarize_flow
+from repro.metrics.stats import FlowStats, delay_percentile, summarize_flow
 from repro.net.address import IPv4Address
 from repro.net.node import Node
 from repro.traffic.generators import CbrSource
@@ -81,8 +79,11 @@ class ProbeAgent:
         return 1.0 - self.sink.received(self.flow) / sent if sent else 0.0
 
     def delay_percentile(self, q: float) -> float:
-        """q-th percentile one-way probe delay in seconds (NaN if none)."""
+        """q-th percentile one-way probe delay in seconds.
+
+        NaN when no probes arrived or ``q`` is outside [0, 100] — the
+        NaN-consistency contract of
+        :func:`repro.metrics.stats.delay_percentile`.
+        """
         rec = self.sink.record(self.flow)
-        if rec.count == 0:
-            return float("nan")
-        return float(np.percentile(rec.delays_array(), q))
+        return delay_percentile(rec.delays_array(), q)

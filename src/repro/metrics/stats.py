@@ -17,7 +17,22 @@ import numpy as np
 from repro.traffic.generators import TrafficSource
 from repro.traffic.sink import FlowRecord, FlowSink
 
-__all__ = ["FlowStats", "rfc3550_jitter", "summarize_flow"]
+__all__ = ["FlowStats", "delay_percentile", "rfc3550_jitter", "summarize_flow"]
+
+
+def delay_percentile(samples: np.ndarray | list[float], q: float) -> float:
+    """``np.percentile`` with the package's NaN contract.
+
+    Empty sample sets and out-of-range ``q`` return NaN instead of
+    raising — an unanswerable question about a measurement is data (the
+    SLA evaluator treats NaN as non-conformant on bounded metrics), not
+    an exception.  A single sample is its own percentile at any valid
+    ``q``, which NumPy already handles.
+    """
+    arr = np.asarray(samples, dtype=np.float64)
+    if arr.size == 0 or not 0.0 <= q <= 100.0:
+        return float("nan")
+    return float(np.percentile(arr, q))
 
 
 def rfc3550_jitter(send_times: np.ndarray, arrival_times: np.ndarray) -> float:

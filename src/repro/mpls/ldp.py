@@ -23,6 +23,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from math import inf
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 from repro.mpls.label import EXPLICIT_NULL, IMPLICIT_NULL
@@ -58,6 +59,9 @@ def reset_ldp(net: "Network", domain: str = "core") -> int:
         for prefix, nhlfe in list(node.ftn.entries().items()):
             if nhlfe.lsp_id and nhlfe.lsp_id.startswith("ldp:"):
                 node.ftn.unbind(prefix)
+    tracer = getattr(net, "convergence_tracer", None)
+    if tracer is not None:
+        tracer.on_ldp_reset(removed)
     return removed
 
 
@@ -94,6 +98,7 @@ def run_ldp(
     if php and use_explicit_null:
         raise ValueError("php and explicit-null are mutually exclusive")
 
+    t0 = perf_counter()
     view = net.domain_view(domain)
     lsrs: dict[str, Lsr] = {
         name: net.nodes[name]  # type: ignore[misc]
@@ -167,6 +172,15 @@ def run_ldp(
         ftn_entries=result.ftn_entries,
         fecs=len(result.bindings),
     )
+    tracer = getattr(net, "convergence_tracer", None)
+    if tracer is not None:
+        tracer.on_ldp_converged(
+            sessions=result.sessions,
+            lfib_entries=result.lfib_entries,
+            ftn_entries=result.ftn_entries,
+            fecs=len(result.bindings),
+            wall_s=perf_counter() - t0,
+        )
     return result
 
 

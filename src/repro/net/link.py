@@ -76,7 +76,9 @@ class Link:
         # Link state is routing-topology state: the owning Network wires
         # this to its topology-generation bump so *any* ``link.up`` write —
         # not just DuplexLink.set_up — invalidates cached domain views.
-        self.on_state_change: Optional[Callable[[], None]] = None
+        # The changed link rides on the callback so listeners (e.g. the
+        # convergence tracer) know *which* link flipped.
+        self.on_state_change: Optional[Callable[["Link"], None]] = None
 
     @property
     def up(self) -> bool:
@@ -88,7 +90,7 @@ class Link:
         changed = value != self._up
         self._up = value
         if changed and self.on_state_change is not None:
-            self.on_state_change()
+            self.on_state_change(self)
 
     def carry(self, pkt: Packet) -> None:
         """Propagate ``pkt`` to the far end (silently lost if link is down)."""

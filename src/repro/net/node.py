@@ -180,6 +180,9 @@ class Node:
         fl = self.trace.flight
         if fl is not None:
             fl.deliver(self.sim.now, self.name, pkt)
+        slo = self.trace.slo
+        if slo is not None:
+            slo.deliver(self.sim.now, self.name, pkt)
         for sink in self.local_sinks:
             sink(pkt)
         if pkt.pooled:

@@ -14,6 +14,12 @@ Everything the simulator can measure flows through this package:
   :class:`~repro.topology.Network` and emitting a run manifest.
 * :mod:`repro.obs.runtime` — process-wide enable/disable switch the CLI
   uses so experiments need no signature changes.
+* :mod:`repro.obs.sketch` — bounded-memory streaming estimators
+  (deterministic compacting quantile sketch, RFC 3550 jitter).
+* :mod:`repro.obs.slo` — live SLO engine: continuous windowed SLA
+  conformance per flow and per VRF×class over the streaming estimators.
+* :mod:`repro.obs.spans` — convergence tracer: causal span chains from
+  link state change to first correctly-forwarded packet.
 
 Everything is strictly opt-in: with telemetry disabled the only residue on
 the hot paths is a ``None`` check (same budget as the TraceBus fast path).
@@ -23,6 +29,9 @@ from repro.obs.flightrec import FlightRecorder, HopRecord
 from repro.obs.flows import FlowAccountant
 from repro.obs.profiler import KernelProfiler
 from repro.obs.registry import MetricsRegistry
+from repro.obs.sketch import QuantileSketch, StreamingJitter
+from repro.obs.slo import SloEngine, SloStream
+from repro.obs.spans import ConvergenceTracer, HealingWatch, Span
 from repro.obs.telemetry import Telemetry
 
 __all__ = [
@@ -31,5 +40,12 @@ __all__ = [
     "FlowAccountant",
     "KernelProfiler",
     "MetricsRegistry",
+    "QuantileSketch",
+    "StreamingJitter",
+    "SloEngine",
+    "SloStream",
+    "ConvergenceTracer",
+    "HealingWatch",
+    "Span",
     "Telemetry",
 ]

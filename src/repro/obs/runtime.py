@@ -31,12 +31,19 @@ __all__ = [
     "packet_counters_enabled",
     "set_vector_mode",
     "vector_mode_enabled",
+    "set_slo",
+    "slo_enabled",
+    "set_spans",
+    "spans_enabled",
+    "flags",
 ]
 
 _enabled = False
 _options: dict[str, Any] = {}
 _sessions: list[Telemetry] = []
 _vector_mode = True
+_slo = False
+_spans = False
 
 
 def enable(**options: Any) -> None:
@@ -64,7 +71,12 @@ def attach_if_enabled(net: "Network") -> Telemetry | None:
     """Called by ``Network.__init__``; returns the session or ``None``."""
     if not _enabled:
         return None
-    session = Telemetry(net, **_options)
+    opts = dict(_options)
+    # The SLO/span switches ride along unless the caller pinned them in
+    # enable(**options) explicitly.
+    opts.setdefault("slo", _slo)
+    opts.setdefault("spans", _spans)
+    session = Telemetry(net, **opts)
     _sessions.append(session)
     return session
 
@@ -76,12 +88,14 @@ def sessions() -> list[Telemetry]:
 
 def reset() -> None:
     """Disable and forget all sessions (detaching them first)."""
-    global _options
+    global _options, _slo, _spans
     disable()
     for s in _sessions:
         s.detach()
     _sessions.clear()
     _options = {}
+    _slo = False
+    _spans = False
     set_packet_counters(True)
 
 
@@ -124,3 +138,50 @@ def set_vector_mode(on: bool) -> None:
 
 def vector_mode_enabled() -> bool:
     return _vector_mode
+
+
+def set_slo(on: bool) -> None:
+    """Arm the streaming SLO engine for subsequently attached sessions.
+
+    When on, every new :class:`Telemetry` session builds an
+    :class:`~repro.obs.slo.SloEngine` and attaches it to the network's
+    ``trace.slo`` hook (one per-delivery callback).  Off — the default —
+    the hot path pays a single ``None`` check per delivery.
+    """
+    global _slo
+    _slo = bool(on)
+
+
+def slo_enabled() -> bool:
+    return _slo
+
+
+def set_spans(on: bool) -> None:
+    """Arm the convergence tracer for subsequently attached sessions.
+
+    When on, every new :class:`Telemetry` session attaches a
+    :class:`~repro.obs.spans.ConvergenceTracer` to the network's link
+    state-change listeners and control-plane hook points.  Costs nothing
+    per packet; only link flaps and reconvergence events are observed.
+    """
+    global _spans
+    _spans = bool(on)
+
+
+def spans_enabled() -> bool:
+    return _spans
+
+
+def flags() -> dict[str, bool]:
+    """The process-wide observability switch state, for manifests.
+
+    A manifest must fully determine the run configuration; these four
+    switches are the ones that change what a run collects (or how it
+    dispatches packets) without appearing anywhere else in the config.
+    """
+    return {
+        "vector_mode": _vector_mode,
+        "packet_counters": packet_counters_enabled(),
+        "slo": _slo,
+        "spans": _spans,
+    }

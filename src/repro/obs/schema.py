@@ -1,13 +1,20 @@
-"""Hand-rolled validator for the ``repro.telemetry/v1`` manifest schema.
+"""Hand-rolled validators for the observability document schemas.
 
-No ``jsonschema`` dependency: :func:`validate_manifest` walks a decoded
-JSON document and returns a list of human-readable problems (empty when
-the document is valid).  Two document kinds share the schema id:
+No ``jsonschema`` dependency: each validator walks a decoded JSON
+document and returns a list of human-readable problems (empty when the
+document is valid).
+
+:func:`validate_manifest` checks ``repro.telemetry/v1``; two document
+kinds share that schema id:
 
 * ``kind == "run"`` — one network's manifest, produced by
   :meth:`repro.obs.telemetry.Telemetry.manifest`;
 * ``kind == "bundle"`` — what ``repro run ... --telemetry out.json``
   writes: CLI options plus a list of run manifests.
+
+:func:`validate_spans` checks ``repro.spans/v1`` — the JSONL span
+documents the convergence tracer (:mod:`repro.obs.spans`) emits, one
+object per line.
 """
 
 from __future__ import annotations
@@ -16,10 +23,13 @@ from typing import Any
 
 from repro.obs.telemetry import SCHEMA_ID
 
-__all__ = ["validate_manifest", "SCHEMA_ID"]
+__all__ = ["validate_manifest", "validate_spans", "SCHEMA_ID", "SPAN_SCHEMA_ID"]
+
+SPAN_SCHEMA_ID = "repro.spans/v1"
 
 _FLOW_KEYS = {"pe", "vrf", "direction", "class", "packets", "bytes"}
 _FLIGHT_KEYS = {"capacity", "buffered", "recorded_total", "aged_out"}
+_OBS_RUNTIME_KEYS = {"vector_mode", "packet_counters", "slo", "spans"}
 
 
 def _err(errors: list[str], where: str, msg: str) -> None:
@@ -113,6 +123,25 @@ def _validate_run(doc: dict, where: str, errors: list[str]) -> None:
         _err(errors, f"{where}.flight",
              f"must have keys {sorted(_FLIGHT_KEYS)}")
 
+    obs_rt = _require(errors, doc, where, "obs_runtime", dict)
+    if obs_rt is not None:
+        if set(obs_rt) != _OBS_RUNTIME_KEYS:
+            _err(errors, f"{where}.obs_runtime",
+                 f"must have keys {sorted(_OBS_RUNTIME_KEYS)}")
+        for key, v in obs_rt.items():
+            if not isinstance(v, bool):
+                _err(errors, f"{where}.obs_runtime",
+                     f"{key!r} must be bool, got {type(v).__name__}")
+
+    # Optional streaming-SLO / convergence-span summaries (null when the
+    # session ran without the corresponding engine attached).
+    slo = doc.get("slo")
+    if slo is not None and not isinstance(slo, dict):
+        _err(errors, where, "slo must be object or null")
+    spans = doc.get("spans")
+    if spans is not None and not isinstance(spans, dict):
+        _err(errors, where, "spans must be object or null")
+
 
 def _validate_family(name: Any, fam: Any, where: str, errors: list[str]) -> None:
     where = f"{where}[{name!r}]"
@@ -144,6 +173,36 @@ def _validate_family(name: Any, fam: Any, where: str, errors: list[str]) -> None
             _require(errors, s, swhere, "count", int)
         elif kind in ("counter", "gauge"):
             _require(errors, s, swhere, "value", (int, float))
+
+
+def validate_spans(docs: Any) -> list[str]:
+    """Validate a sequence of ``repro.spans/v1`` span documents.
+
+    ``docs`` is what a JSONL span file decodes to line by line (or
+    :meth:`repro.obs.spans.ConvergenceTracer.span_docs` returns).
+    """
+    errors: list[str] = []
+    if not isinstance(docs, list):
+        return [f"span documents must be a list, got {type(docs).__name__}"]
+    for i, doc in enumerate(docs):
+        where = f"$[{i}]"
+        if not isinstance(doc, dict):
+            _err(errors, where, "must be an object")
+            continue
+        if doc.get("schema") != SPAN_SCHEMA_ID:
+            _err(errors, where,
+                 f"schema must be {SPAN_SCHEMA_ID!r}, got {doc.get('schema')!r}")
+        for key in ("trace_id", "span_id", "kind", "name"):
+            _require(errors, doc, where, key, str)
+        parent = doc.get("parent_id")
+        if parent is not None and not isinstance(parent, str):
+            _err(errors, where, "parent_id must be string or null")
+        t0 = _require(errors, doc, where, "t_start_s", (int, float))
+        t1 = _require(errors, doc, where, "t_end_s", (int, float))
+        if t0 is not None and t1 is not None and t1 < t0:
+            _err(errors, where, f"t_end_s {t1} < t_start_s {t0}")
+        _require(errors, doc, where, "attrs", dict)
+    return errors
 
 
 def _validate_profile(profile: Any, where: str, errors: list[str]) -> None:

@@ -1,0 +1,210 @@
+"""Streaming estimators: bounded-memory quantiles and RFC 3550 jitter.
+
+The batch metrics path (:mod:`repro.metrics.stats`) keeps every raw delay
+sample and asks NumPy for exact percentiles — fine for a few thousand
+packets, impossible for the ROADMAP's million-flow hybrid data plane.
+This module provides the streaming replacements the live SLO engine
+(:mod:`repro.obs.slo`) maintains per VRF×class:
+
+* :class:`QuantileSketch` — a deterministic KLL/MRL-style compacting
+  sketch.  Samples accumulate in a level-0 buffer of ``k`` items; when a
+  level fills it is sorted and every other item (alternating offset,
+  weight doubled) is promoted to the next level.  Memory is
+  ``O(k · log(n/k))`` regardless of stream length.  While the stream is
+  short (``n ≤ k``, nothing compacted yet) queries are *exactly* NumPy's
+  linear-interpolation percentile; once compaction starts the answer
+  carries a rank error that grows like ``log2(n/k) / (2k)`` of the
+  stream length (each compaction of a level holding weight-``w`` items
+  can displace a rank by at most ``w/2``, and level ``l`` compacts about
+  ``n / (k·2^l)`` times).  ``tests/test_obs_sketch.py`` pins the
+  documented bound empirically on seeded experiment traces.
+* :class:`StreamingJitter` — RFC 3550 §6.4.1 interarrival jitter.  Fed
+  one-way delays in arrival order it is *bit-identical* to the batch
+  :func:`repro.metrics.stats.rfc3550_jitter` oracle, because the transit
+  differences D(i−1, i) in the RFC are exactly the consecutive delay
+  differences.
+
+Both are deliberately free of randomness: compaction offsets alternate
+deterministically, so the same stream always yields the same sketch —
+required for sweep determinism at any worker count.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from math import ceil, log2, nan
+
+__all__ = ["QuantileSketch", "StreamingJitter", "rank_error_bound"]
+
+
+def rank_error_bound(n: int, k: int) -> float:
+    """Documented worst-case rank error (fraction of ``n``) at stream
+    length ``n`` for a sketch with buffer size ``k``.
+
+    Zero while nothing has compacted (``n ≤ k`` — queries are exact).
+    Afterwards ``log2(n/k)`` levels have each compacted, and every
+    compaction pass over the stream costs at most ``1/(2k)`` of the
+    stream in displaced rank; a 2× safety factor absorbs the pessimistic
+    constant.
+    """
+    if n <= k:
+        return 0.0
+    return 2.0 * ceil(log2(n / k)) / (2.0 * k)
+
+
+class QuantileSketch:
+    """Deterministic compacting quantile sketch (see module docstring).
+
+    ``k`` is the per-level buffer size: the exactness horizon (streams
+    shorter than ``k`` are answered exactly) and the error knob (rank
+    error ∝ 1/k once compaction starts).
+    """
+
+    __slots__ = ("k", "n", "_levels", "_offsets", "_cache")
+
+    def __init__(self, k: int = 2048) -> None:
+        if k < 8:
+            raise ValueError("sketch buffer k must be at least 8")
+        self.k = int(k)
+        self.n = 0
+        self._levels: list[list[float]] = [[]]
+        self._offsets: list[bool] = [False]
+        self._cache: tuple[list[float], list[float]] | None = None
+
+    # ------------------------------------------------------------------
+    def insert(self, value: float) -> None:
+        """Add one sample (amortised O(log k) per item)."""
+        self.n += 1
+        self._cache = None
+        level0 = self._levels[0]
+        # Level 0 is kept sorted by insertion (cheap: bisect into ≤ k
+        # items) so an uncompacted sketch can answer without re-sorting
+        # and compaction skips its sort entirely.
+        insort(level0, value)
+        if len(level0) >= self.k:
+            self._compact(0)
+
+    def _compact(self, level: int) -> None:
+        while len(self._levels[level]) >= self.k:
+            items = self._levels[level]
+            if level > 0:
+                items.sort()
+            # Deterministic alternation: keep odd-indexed items on one
+            # pass, even-indexed on the next, so promoted ranks are
+            # unbiased without an RNG (reproducibility contract).
+            offset = 1 if self._offsets[level] else 0
+            self._offsets[level] = not self._offsets[level]
+            survivors = items[offset::2]
+            self._levels[level] = []
+            if level + 1 == len(self._levels):
+                self._levels.append([])
+                self._offsets.append(False)
+            self._levels[level + 1].extend(survivors)
+            level += 1
+
+    # ------------------------------------------------------------------
+    def _materialize(self) -> tuple[list[float], list[float]]:
+        """Sorted ``(values, center_positions)`` over all levels.
+
+        Each retained item of weight ``w = 2^level`` represents ``w``
+        original samples; its *center position* is the 0-based rank of
+        the middle of that mass.  With all weights 1 the positions are
+        ``0, 1, …, n−1`` — interpolating between them reproduces NumPy's
+        linear percentile exactly.
+        """
+        if self._cache is not None:
+            return self._cache
+        weighted: list[tuple[float, int]] = []
+        for level, items in enumerate(self._levels):
+            w = 1 << level
+            weighted.extend((v, w) for v in items)
+        weighted.sort(key=lambda t: t[0])
+        values: list[float] = []
+        positions: list[float] = []
+        cum = 0
+        for v, w in weighted:
+            values.append(v)
+            positions.append(cum + (w - 1) / 2.0)
+            cum += w
+        self._cache = (values, positions)
+        return self._cache
+
+    def query(self, q: float) -> float:
+        """The ``q``-th percentile (0–100); NaN on an empty or invalid
+        query, mirroring the NaN-consistency contract of
+        :func:`repro.metrics.stats.delay_percentile`."""
+        if self.n == 0 or not 0.0 <= q <= 100.0:
+            return nan
+        values, positions = self._materialize()
+        target = q / 100.0 * (self.n - 1)
+        if target <= positions[0]:
+            return values[0]
+        if target >= positions[-1]:
+            return values[-1]
+        # Binary search for the bracketing pair, then linear interpolation
+        # (identical arithmetic to numpy.percentile's default method).
+        lo, hi = 0, len(positions) - 1
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if positions[mid] <= target:
+                lo = mid
+            else:
+                hi = mid
+        span = positions[hi] - positions[lo]
+        if span <= 0.0:
+            return values[lo]
+        frac = (target - positions[lo]) / span
+        # NumPy's _lerp, replicated operation-for-operation so that an
+        # uncompacted sketch is bit-identical to np.percentile.
+        a, b = values[lo], values[hi]
+        diff = b - a
+        if frac >= 0.5:
+            return b - diff * (1.0 - frac)
+        return a + diff * frac
+
+    # ------------------------------------------------------------------
+    @property
+    def retained(self) -> int:
+        """Items currently held across all levels (the memory footprint)."""
+        return sum(len(items) for items in self._levels)
+
+    def error_bound(self) -> float:
+        """Current documented rank-error bound as a fraction of ``n``."""
+        return rank_error_bound(self.n, self.k)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QuantileSketch n={self.n} k={self.k} retained={self.retained} "
+            f"levels={len(self._levels)}>"
+        )
+
+
+class StreamingJitter:
+    """RFC 3550 §6.4.1 smoothed interarrival jitter, fed one-way delays
+    in arrival order.
+
+    ``J ← J + (|D| − J)/16`` where ``D`` is the transit-time difference
+    of consecutive packets — which *is* the difference of consecutive
+    delay samples, so this matches the batch oracle bit for bit.
+    """
+
+    __slots__ = ("value", "count", "_last")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.count = 0
+        self._last: float | None = None
+
+    def update(self, delay_s: float) -> float:
+        self.count += 1
+        last = self._last
+        self._last = delay_s
+        if last is not None:
+            d = delay_s - last
+            if d < 0.0:
+                d = -d
+            self.value += (d - self.value) / 16.0
+        return self.value

@@ -67,6 +67,9 @@ class Telemetry:
         sample_every: int = 64,
         flight_capacity: int = 65536,
         profile: bool = True,
+        slo: bool = False,
+        spans: bool = False,
+        slo_window_s: float = 0.5,
     ) -> None:
         self.net = net
         self.registry = MetricsRegistry()
@@ -75,6 +78,16 @@ class Telemetry:
         self.profiler: KernelProfiler | None = (
             KernelProfiler(net.sim, sample_every=sample_every) if profile else None
         )
+        self.slo = None
+        self.tracer = None
+        if slo:
+            from repro.obs.slo import SloEngine
+
+            self.slo = SloEngine(net.sim, window_s=slo_window_s).attach(net)
+        if spans:
+            from repro.obs.spans import ConvergenceTracer
+
+            self.tracer = ConvergenceTracer(net).attach()
         net.trace.flight = self.flight
         net.trace.flows = self.flows
         if self.profiler is not None:
@@ -87,6 +100,10 @@ class Telemetry:
             self.net.trace.flight = None
         if self.net.trace.flows is self.flows:
             self.net.trace.flows = None
+        if self.slo is not None:
+            self.slo.detach(self.net)
+        if self.tracer is not None:
+            self.tracer.detach()
         if self.profiler is not None:
             self.profiler.detach()
 
@@ -100,6 +117,9 @@ class Telemetry:
         self._scrape_nodes(reg)
         self._scrape_interfaces(reg)
         self._scrape_counters(reg)
+        self._scrape_caches(reg)
+        self._scrape_slo(reg)
+        self._scrape_convergence(reg)
         return reg
 
     def _scrape_sim(self, reg: MetricsRegistry) -> None:
@@ -188,11 +208,105 @@ class Telemetry:
         for name, n in self.net.counters:
             fam.labels(name=name).set(n)
 
+    def _scrape_caches(self, reg: MetricsRegistry) -> None:
+        """GenCache counters from every router's forwarding pipeline.
+
+        VRF route caches are labeled ``vrf:<name>`` so one gauge family
+        covers flow/label/tunnel/VRF caches uniformly.
+        """
+        lab = ("node", "cache")
+        hits = reg.gauge("repro_cache_hits", "Forwarding-cache hits", lab)
+        miss = reg.gauge("repro_cache_misses", "Forwarding-cache misses", lab)
+        inval = reg.gauge(
+            "repro_cache_invalidations", "Generation-bump invalidations", lab
+        )
+        evict = reg.gauge("repro_cache_evictions", "Capacity evictions", lab)
+        entries = reg.gauge("repro_cache_entries", "Entries currently cached", lab)
+
+        def emit(node_name: str, cache_name: str, stats: dict[str, int]) -> None:
+            clab = {"node": node_name, "cache": cache_name}
+            hits.labels(**clab).set(stats["hits"])
+            miss.labels(**clab).set(stats["misses"])
+            inval.labels(**clab).set(stats["invalidations"])
+            evict.labels(**clab).set(stats["evictions"])
+            entries.labels(**clab).set(stats["entries"])
+
+        for router in sorted(self.net.routers(), key=lambda r: r.name):
+            for cache_name, stats in sorted(router.pipeline.cache_stats().items()):
+                if cache_name == "vrf":
+                    for vrf_name, vstats in sorted(stats.items()):
+                        emit(router.name, f"vrf:{vrf_name}", vstats)
+                else:
+                    emit(router.name, cache_name, stats)
+
+    def _scrape_slo(self, reg: MetricsRegistry) -> None:
+        """Streaming SLO conformance state, when an engine is attached."""
+        engine = self.slo
+        if engine is None:
+            return
+        lab = ("stream",)
+        recv = reg.gauge("repro_slo_received_packets", "Packets observed", lab)
+        p99 = reg.gauge("repro_slo_p99_delay_seconds", "Streaming p99 delay", lab)
+        jit = reg.gauge("repro_slo_jitter_seconds", "Streaming RFC3550 jitter", lab)
+        viol = reg.gauge(
+            "repro_slo_violation_seconds", "Seconds of violating windows", lab
+        )
+        first = reg.gauge(
+            "repro_slo_first_violation_seconds",
+            "Sim time of the first violating window (-1: none)",
+            lab,
+        )
+        streams = list(engine.flows.values()) + list(engine.classes.values())
+        for stream in streams:
+            slab = {"stream": stream.key}
+            recv.labels(**slab).set(stream.count)
+            if stream.count:
+                p99.labels(**slab).set(stream.quantile(99))
+            jit.labels(**slab).set(stream.jitter.value)
+            viol.labels(**slab).set(stream.violation_seconds)
+            fv = stream.first_violation_s
+            first.labels(**slab).set(-1.0 if fv is None else fv)
+
+    def _scrape_convergence(self, reg: MetricsRegistry) -> None:
+        """Control-plane vs data-plane healing time per churn trace."""
+        tracer = self.tracer
+        if tracer is None:
+            return
+        summary = tracer.summary()
+        reg.gauge("repro_convergence_traces", "Churn traces recorded").set(
+            len(summary["traces"])
+        )
+        reg.gauge("repro_convergence_spans", "Spans recorded").set(
+            summary["spans"]
+        )
+        lab = ("trace", "link")
+        cp = reg.gauge(
+            "repro_convergence_cp_healing_seconds",
+            "Link-down to last control-plane recovery action",
+            lab,
+        )
+        dp = reg.gauge(
+            "repro_convergence_dp_healing_seconds",
+            "Link-down to first correctly-forwarded packet",
+            lab,
+        )
+        for trace in summary["traces"]:
+            tlab = {"trace": trace["trace_id"], "link": trace["link"] or ""}
+            if trace["cp_healing_s"] is not None:
+                cp.labels(**tlab).set(trace["cp_healing_s"])
+            if trace["dp_healing_s"] is not None:
+                dp.labels(**tlab).set(trace["dp_healing_s"])
+
     # ------------------------------------------------------------------
     # Manifest
     # ------------------------------------------------------------------
     def manifest(self, config: dict[str, Any] | None = None) -> dict[str, Any]:
         """One JSON-serialisable document describing this run."""
+        # Late import: repro.obs.runtime imports this module at its top.
+        from repro.obs import runtime
+
+        if self.slo is not None:
+            self.slo.finalize()
         self.scrape()
         sim = self.net.sim
         return {
@@ -214,6 +328,18 @@ class Telemetry:
             ),
             "flows": self.flows.table(),
             "flight": self.flight.summary(),
+            # Process-wide observability switches, with the SLO/span flags
+            # overridden by this session's actual attachments — the
+            # manifest must describe what *this* run collected even when a
+            # session was constructed with explicit kwargs rather than
+            # through the runtime switch.
+            "obs_runtime": {
+                **runtime.flags(),
+                "slo": self.slo is not None,
+                "spans": self.tracer is not None,
+            },
+            "slo": self.slo.summary() if self.slo is not None else None,
+            "spans": self.tracer.summary() if self.tracer is not None else None,
         }
 
     def write(self, path: str | Path, config: dict[str, Any] | None = None) -> Path:

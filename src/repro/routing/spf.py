@@ -30,6 +30,7 @@ holds that equivalence.
 from __future__ import annotations
 
 from math import inf
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import networkx as nx
@@ -281,6 +282,24 @@ def _full_reconverge(net: "Network", domain: str, ecmp: bool) -> int:
 
 
 def reconverge(net: "Network", domain: str = "core") -> int:
+    """Recompute the IGP after a topology change — the public entry point.
+
+    Thin wrapper over :func:`_reconverge_impl` that notifies the network's
+    convergence tracer (``repro.obs.spans``) when one is attached, so the
+    SPF re-run lands as a causal span in the churn trace.  Only this
+    public entry is instrumented: the ``_full_reconverge`` → ``converge``
+    internal path must not emit a second span for the same event.
+    """
+    tracer = getattr(net, "convergence_tracer", None)
+    if tracer is None:
+        return _reconverge_impl(net, domain)
+    t0 = perf_counter()
+    installs = _reconverge_impl(net, domain)
+    tracer.on_reconverge(domain, installs, perf_counter() - t0)
+    return installs
+
+
+def _reconverge_impl(net: "Network", domain: str = "core") -> int:
     """Recompute the IGP after a topology change (link failure/restore).
 
     Models the end state of an SPF re-run triggered by LSA flooding.  The

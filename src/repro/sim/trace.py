@@ -48,6 +48,7 @@ class TraceBus:
         # Set by repro.obs.telemetry when a Telemetry session attaches.
         self.flight = None  # FlightRecorder | None
         self.flows = None   # FlowAccountant | None
+        self.slo = None     # repro.obs.slo.SloEngine | None
 
     def subscribe(self, kind: str, fn: Callable[[TraceRecord], None]) -> None:
         """Invoke ``fn`` for every published record of ``kind``."""

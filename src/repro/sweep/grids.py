@@ -58,19 +58,24 @@ def e2_grid(
 
 
 def e5_grid(
-    reps: int = 1, measure_s: float = 2.0, **_: object
+    reps: int = 1, measure_s: float = 2.0, slo: bool = False, **_: object
 ) -> list[Task]:
-    """SLA ablation chain: every stage × seeds."""
+    """SLA ablation chain: every stage × seeds.
+
+    ``slo=True`` runs each stage with the live streaming SLO engine
+    attached: flow rows gain ``slo``/``slo_p99_ms``/``slo_viol_s``
+    columns and each task adds one ``(slo-summary)`` row.
+    """
     from repro.experiments.e5_sla import STAGES
 
     tasks = []
     for stage in STAGES:
         for r in range(reps):
             name = f"e5/{stage}/r{r}"
-            tasks.append(
-                _task(len(tasks), "e5", name,
-                      {"stage": stage, "measure_s": measure_s})
-            )
+            params = {"stage": stage, "measure_s": measure_s}
+            if slo:
+                params["slo"] = True
+            tasks.append(_task(len(tasks), "e5", name, params))
     return tasks
 
 
@@ -82,12 +87,13 @@ def build_grid(
     reps: int = 1,
     measure_s: float = 2.0,
     sites: Sequence[int] = (10, 50, 100, 200),
+    slo: bool = False,
 ) -> list[Task]:
     """Build one named grid, or the concatenation for ``"all"``."""
     names = list(GRIDS) if grid == "all" else [grid]
     tasks: list[Task] = []
     for name in names:
-        for t in GRIDS[name](reps=reps, measure_s=measure_s, sites=sites):
+        for t in GRIDS[name](reps=reps, measure_s=measure_s, sites=sites, slo=slo):
             tasks.append(dict(t, index=len(tasks)))
     return tasks
 
@@ -100,5 +106,7 @@ def smoke_grid() -> list[Task]:
               {"config": "mpls-diffserv", "measure_s": 0.5}),
         _task(2, "e5", "smoke/e5/full/r0",
               {"stage": "full", "measure_s": 0.5}),
+        _task(3, "e5", "smoke/e5/full-slo/r0",
+              {"stage": "full", "measure_s": 0.5, "slo": True}),
     ]
     return tasks

@@ -102,8 +102,10 @@ def _scenario_e2(params: dict, seed: int) -> tuple[list[dict], dict]:
 def _scenario_e5(params: dict, seed: int) -> tuple[list[dict], dict]:
     from repro.experiments.e5_sla import run_stage
 
+    slo = bool(params.get("slo", False))
     result = run_stage(
-        params["stage"], seed=seed, measure_s=params.get("measure_s", 2.0)
+        params["stage"], seed=seed, measure_s=params.get("measure_s", 2.0),
+        streaming=slo,
     )
     rows = []
     for flow, sla in (("voice", "voice_sla"), ("data", "data_sla"), ("bulk", None)):
@@ -112,7 +114,38 @@ def _scenario_e5(params: dict, seed: int) -> tuple[list[dict], dict]:
             "n/a" if sla is None
             else ("PASS" if result[sla].conformant else "FAIL")
         )
+        if slo:
+            # Streaming SLO columns next to the batch-oracle ones: the
+            # live verdict must agree with "sla" on every bound flow.
+            if flow in ("voice", "data"):
+                verdict = result["slo"][flow]
+                stream = result["slo"]["engine"].flows[flow]
+                row["slo"] = "PASS" if verdict.conformant else "FAIL"
+                row["slo_p99_ms"] = round(1e3 * stream.quantile(99), 3)
+                row["slo_viol_s"] = round(stream.violation_seconds, 3)
+            else:
+                row["slo"] = "n/a"
         rows.append(row)
+    if slo:
+        # One per-task summary row: live-engine conformance totals.
+        engine = result["slo"]["engine"]
+        summary = engine.summary()
+        rows.append(
+            {
+                "stage": params["stage"],
+                "seed": seed,
+                "flow": "(slo-summary)",
+                "delivered": summary["delivered"],
+                "streams": summary["flows"] + summary["class_streams"],
+                "windows_closed": sum(
+                    s["windows_closed"] for s in summary["streams"].values()
+                ),
+                "windows_violated": sum(
+                    s["windows_violated"] for s in summary["streams"].values()
+                ),
+                "sla": "n/a",
+            }
+        )
     return rows, {}
 
 

@@ -143,6 +143,12 @@ class Network:
         self.topology_generation = 0
         self._domain_views: dict = {}
         self._spf_state: dict = {}
+        # Observability attachment points: extra link state-change
+        # listeners (each called with the simplex Link that changed) and
+        # the convergence tracer the control-plane hook sites notify.
+        # Both default empty/None so unobserved networks pay nothing.
+        self.link_listeners: list[Callable[[Link], None]] = []
+        self.convergence_tracer = None
         self._loopback_iter = iter(range(1, self.LOOPBACK_POOL.num_addresses - 1))
         self._linknet_iter = self.LINKNET_POOL.subnets(30)
         # ``None`` unless the process-wide telemetry switch is on (see
@@ -222,7 +228,7 @@ class Network:
 
         link_ab = Link(self.sim, f"{na.name}->{nb.name}", nb, if_ba_name, delay_s)
         link_ba = Link(self.sim, f"{nb.name}->{na.name}", na, if_ab_name, delay_s)
-        link_ab.on_state_change = link_ba.on_state_change = self._bump_topology
+        link_ab.on_state_change = link_ba.on_state_change = self._link_state_changed
         if_ab.attach(link_ab, nb, if_ba_name)
         if_ba.attach(link_ba, na, if_ab_name)
 
@@ -248,8 +254,15 @@ class Network:
 
     def _bump_topology(self) -> None:
         """Invalidate cached domain views / SPF state after a structural
-        change (wired into every Link's up-state hook by :meth:`connect`)."""
+        change."""
         self.topology_generation += 1
+
+    def _link_state_changed(self, link: Link) -> None:
+        """Link up-state hook (wired into every Link by :meth:`connect`):
+        bump the topology generation and fan out to observers."""
+        self.topology_generation += 1
+        for fn in self.link_listeners:
+            fn(link)
 
     def link_between(self, a: str, b: str) -> Optional[DuplexLink]:
         """First duplex link between the two named nodes, if any."""

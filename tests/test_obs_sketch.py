@@ -1,0 +1,144 @@
+"""Streaming estimator parity: sketch vs numpy, jitter vs batch oracle.
+
+The SLO engine's claim is that its bounded-memory estimators agree with
+the raw-sample batch path — exactly while uncompacted, within the
+documented rank-error bound beyond.  These tests pin that contract on
+synthetic streams and on real seeded experiment traces (e2, e5).
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.stats import delay_percentile, rfc3550_jitter
+from repro.obs.sketch import QuantileSketch, StreamingJitter, rank_error_bound
+
+
+def test_uncompacted_sketch_is_bit_exact_vs_numpy():
+    rng = np.random.default_rng(7)
+    samples = rng.exponential(0.01, size=1500)
+    sk = QuantileSketch(k=2048)
+    for s in samples:
+        sk.insert(float(s))
+    assert sk.retained == 1500
+    for q in range(0, 101):
+        assert sk.query(q) == float(np.percentile(samples, q)), q
+
+
+def test_single_sample_and_empty_nan_contract():
+    sk = QuantileSketch()
+    assert np.isnan(sk.query(50))
+    assert np.isnan(sk.query(-1))
+    sk.insert(0.25)
+    assert sk.query(0) == 0.25
+    assert sk.query(100) == 0.25
+    assert np.isnan(sk.query(100.5))
+    assert np.isnan(sk.query(-0.5))
+    # Same contract as the batch helper.
+    assert np.isnan(delay_percentile([], 50))
+    assert np.isnan(delay_percentile([0.25], 101))
+    assert delay_percentile([0.25], 50) == 0.25
+
+
+def test_compacted_sketch_within_documented_rank_error():
+    rng = np.random.default_rng(11)
+    n, k = 100_000, 256
+    samples = rng.lognormal(-4.0, 1.0, size=n)
+    sk = QuantileSketch(k=k)
+    for s in samples:
+        sk.insert(float(s))
+    assert sk.retained < 8 * k  # bounded memory, not O(n)
+    bound = sk.error_bound()
+    assert bound == rank_error_bound(n, k) > 0.0
+    sorted_samples = np.sort(samples)
+    for q in (50, 90, 95, 99):
+        est = sk.query(q)
+        # Where does the estimate land in the true rank order?
+        rank = np.searchsorted(sorted_samples, est) / n
+        assert abs(rank - q / 100.0) <= bound, (q, rank, bound)
+
+
+def test_sketch_is_deterministic():
+    rng = np.random.default_rng(3)
+    samples = [float(s) for s in rng.normal(0.0, 1.0, size=10_000)]
+    a, b = QuantileSketch(k=64), QuantileSketch(k=64)
+    for s in samples:
+        a.insert(s)
+        b.insert(s)
+    assert [a.query(q) for q in range(101)] == [b.query(q) for q in range(101)]
+
+
+def test_streaming_jitter_matches_batch_oracle_bit_for_bit():
+    rng = np.random.default_rng(5)
+    delays = rng.exponential(0.005, size=400)
+    arrivals = np.cumsum(rng.exponential(0.02, size=400))
+    send_times = arrivals - delays
+    oracle = rfc3550_jitter(send_times, arrivals)
+    sj = StreamingJitter()
+    for t, d in zip(arrivals, delays):
+        # The oracle computes transit = arrival − (arrival − delay);
+        # reproduce its arithmetic for bit-exactness.
+        sj.update(t - (t - d))
+    assert sj.value == oracle
+    assert sj.count == 400
+
+
+def test_streaming_jitter_short_streams():
+    sj = StreamingJitter()
+    assert sj.value == 0.0
+    sj.update(0.010)
+    assert sj.value == 0.0  # one sample: no difference yet
+    sj.update(0.026)
+    assert sj.value == pytest.approx(0.016 / 16.0)
+
+
+# ----------------------------------------------------------------------
+# Parity on real seeded experiment traces: the streaming FlowStats must
+# match the batch-oracle FlowStats on every shared field (exactly while
+# n ≤ k; p-quantiles within the rank-error bound once compacted).
+
+
+def _assert_stream_parity(batch, stream, n_sorted_delays=None):
+    assert stream.received == batch.received
+    assert stream.sent == batch.sent
+    assert stream.loss_ratio == batch.loss_ratio
+    assert stream.mean_delay_s == pytest.approx(batch.mean_delay_s, rel=1e-12)
+    assert stream.max_delay_s == batch.max_delay_s
+    assert stream.jitter_rfc3550_s == batch.jitter_rfc3550_s
+    assert stream.throughput_bps == pytest.approx(batch.throughput_bps, rel=1e-12)
+    for attr in ("p50_delay_s", "p95_delay_s", "p99_delay_s"):
+        sv, bv = getattr(stream, attr), getattr(batch, attr)
+        if n_sorted_delays is None:
+            assert sv == bv, attr  # uncompacted: bit-exact
+        else:
+            q = {"p50_delay_s": 0.50, "p95_delay_s": 0.95, "p99_delay_s": 0.99}[attr]
+            rank = np.searchsorted(n_sorted_delays, sv) / len(n_sorted_delays)
+            assert abs(rank - q) <= rank_error_bound(len(n_sorted_delays), 2048)
+
+
+def test_e5_streaming_stats_match_batch_oracle():
+    from repro.experiments.e5_sla import run_stage
+
+    result = run_stage("full", measure_s=2.0, streaming=True)
+    engine = result["slo"]["engine"]
+    for flow in ("voice", "data", "bulk"):
+        batch = result[flow]
+        stream = engine.stats(flow, sent=batch.sent, duration_s=2.0)
+        # E5 flows are well under k=2048 samples: parity must be exact.
+        assert engine.flows[flow].sketch.retained == batch.received
+        _assert_stream_parity(batch, stream)
+
+
+def test_e2_streaming_stats_match_batch_oracle():
+    from repro.experiments.e2_qos import run_config
+
+    result = run_config("mpls-diffserv", measure_s=2.0, streaming=True)
+    engine = result["slo"]["engine"]
+    for flow in ("voice", "data", "bulk"):
+        batch = result[flow]
+        stream = result["slo"]["stats"][flow]
+        assert stream.received == batch.received
+        if engine.flows[flow].sketch.n <= 2048:
+            _assert_stream_parity(batch, stream)
+        else:  # compacted: still exact on everything but the quantiles
+            assert stream.jitter_rfc3550_s == batch.jitter_rfc3550_s
+            assert stream.loss_ratio == batch.loss_ratio

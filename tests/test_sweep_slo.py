@@ -1,0 +1,52 @@
+"""Sweep × SLO: streaming columns stay deterministic at any worker count."""
+
+import pytest
+
+from repro.sweep.grids import build_grid, e5_grid, smoke_grid
+from repro.sweep.runner import deterministic_view, run_sweep
+
+
+def test_e5_grid_slo_flag_threads_params():
+    plain = e5_grid(measure_s=0.5)
+    slo = e5_grid(measure_s=0.5, slo=True)
+    assert [t["name"] for t in plain] == [t["name"] for t in slo]
+    assert [t["seed"] for t in plain] == [t["seed"] for t in slo]
+    assert all("slo" not in t["params"] for t in plain)
+    assert all(t["params"]["slo"] is True for t in slo)
+    built = build_grid("e5", measure_s=0.5, slo=True)
+    assert all(t["params"]["slo"] is True for t in built)
+
+
+def test_smoke_grid_includes_slo_task():
+    tasks = smoke_grid()
+    slo_tasks = [t for t in tasks if t["params"].get("slo")]
+    assert len(slo_tasks) == 1
+    assert slo_tasks[0]["scenario"] == "e5"
+
+
+def test_slo_rows_carry_streaming_columns_and_summary_row():
+    tasks = [t for t in smoke_grid() if t["params"].get("slo")]
+    report = run_sweep(tasks, workers=1)
+    assert not report["failed"]
+    rows = report["rows"]
+    flows = {r["flow"]: r for r in rows}
+    assert set(flows) == {"voice", "data", "bulk", "(slo-summary)"}
+    for flow in ("voice", "data"):
+        row = flows[flow]
+        assert row["slo"] in ("PASS", "FAIL")
+        # The streaming verdict must agree with the batch-oracle column.
+        assert row["slo"] == row["sla"]
+        assert row["slo_p99_ms"] == pytest.approx(row["p99_ms"], abs=0.01)
+    assert flows["bulk"]["slo"] == "n/a"
+    summary = flows["(slo-summary)"]
+    assert summary["delivered"] > 0
+    assert summary["streams"] >= 4
+    assert summary["windows_closed"] >= 0
+
+
+def test_slo_sweep_deterministic_across_worker_counts():
+    tasks = e5_grid(measure_s=0.5, slo=True)
+    inline = run_sweep(tasks, workers=1)
+    fanned = run_sweep(tasks, workers=2)
+    assert deterministic_view(inline) == deterministic_view(fanned)
+    assert not inline["failed"]
