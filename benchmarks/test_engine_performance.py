@@ -40,8 +40,12 @@ from repro.sweep.grids import e1_grid
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 # ISSUE 4 acceptance: ≥2× end-to-end on at least one full experiment
-# scenario (single process), ≥3× sweep scaling at 4 workers.
+# scenario (single process), ≥3× sweep scaling at 4 workers.  The
+# columnar burst tier (ISSUE 7) raised the e12a floor: the heaviest
+# packet-churn scenario now measures 2.15-2.35× against the frozen
+# reference stack, so it must not regress below 2.1×.
 MIN_E2E_SPEEDUP = 2.0
+MIN_E12A_SPEEDUP = 2.1
 MIN_SWEEP_SCALING = 3.0
 SWEEP_WORKERS = 4
 
@@ -85,7 +89,7 @@ def _best_of_pair(fn_new, fn_ref, rounds: int) -> tuple[float, float]:
     return best_new, best_ref
 
 
-def _e2e_case(section: str, run_once) -> None:
+def _e2e_case(section: str, run_once, floor: float = MIN_E2E_SPEEDUP) -> None:
     """Whole experiment, fast path (counters off, as a sweep runs it)
     vs the frozen reference stack."""
 
@@ -106,10 +110,10 @@ def _e2e_case(section: str, run_once) -> None:
         "new_s": t_new,
         "reference_s": t_ref,
         "speedup": speedup,
-        "min_required": MIN_E2E_SPEEDUP,
+        "min_required": floor,
     })
-    _require_floor(speedup, MIN_E2E_SPEEDUP, (
-        f"{section} end-to-end speedup {speedup:.2f}x < {MIN_E2E_SPEEDUP}x "
+    _require_floor(speedup, floor, (
+        f"{section} end-to-end speedup {speedup:.2f}x < {floor}x "
         f"(new {t_new:.3f} s vs reference {t_ref:.3f} s)"
     ))
 
@@ -119,7 +123,8 @@ def test_e2e_elastic_aqm_speedup():
     packet-churn scenario in the suite: the acceptance case."""
     from repro.experiments.e12_elastic import run_e12a_aqm
 
-    _e2e_case("e2e_e12a_aqm", lambda: run_e12a_aqm())
+    _e2e_case("e2e_e12a_aqm", lambda: run_e12a_aqm(),
+              floor=MIN_E12A_SPEEDUP)
 
 
 def test_e2e_mpls_diffserv_speedup():

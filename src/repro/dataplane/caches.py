@@ -134,6 +134,23 @@ class GenCache:
             self.invalidations += 1
         return self._entries
 
+    def probe_many(self, keys: "list[int]") -> list[Any]:
+        """Batched counter-free gather: cached value (or ``None``) per key.
+
+        The columnar pipeline resolves a burst per *unique* key: it syncs
+        once, gathers all groups' entries here, then applies the group
+        arithmetic itself (one real lookup per missed group, ``hits``/
+        ``misses``/logical-lookup counters bumped by group size) so the
+        totals land exactly where per-packet :meth:`get` calls would.
+        Only safe for unbounded caches — with a capacity bound, a fill for
+        one group could evict another group's entry *between* that group's
+        interleaved rows, which this pre-gather cannot see; the pipeline
+        gates the columnar path on ``capacity is None`` for that reason.
+        """
+        entries = self.sync()
+        get = entries.get
+        return [get(k) for k in keys]
+
     # ------------------------------------------------------------------
     def clear(self) -> None:
         """Explicit flush (the generation guard makes this rarely needed)."""

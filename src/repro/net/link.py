@@ -251,7 +251,7 @@ class Interface:
                     )
         return True
 
-    def send_batch(self, pkts: "list[Packet]") -> None:
+    def send_batch(self, pkts: "list[Packet]", wire: "list[int] | None" = None) -> None:
         """Enqueue a burst of packets; scalar-exact, loads hoisted.
 
         While the transmitter is idle (or regulated) each enqueue may
@@ -261,6 +261,11 @@ class Interface:
         that tail goes through the queue discipline's vector enqueue (per-
         packet AQM verdicts preserved), or a hoisted loop when the flight
         recorder needs its per-packet backlog records.
+
+        ``wire``, when given, is the columnar pipeline's wire-bytes column
+        aligned with ``pkts``: per-row it always equals ``pkt.wire_bytes``
+        (the pipeline maintains both), so the queue discipline's bulk
+        admission can sum bytes without touching the packet objects.
         """
         if self.conditioners:
             send = self.send
@@ -303,7 +308,7 @@ class Interface:
                 else:
                     stats.dropped += 1
             return
-        ok = qdisc.enqueue_batch(pkts, now, i)
+        ok = qdisc.enqueue_batch(pkts, now, i, wire)
         stats.enqueued += ok
         stats.dropped += (n - i) - ok
 

@@ -223,12 +223,16 @@ class Node:
         self.stats.forwarded += 1
         iface.send(pkt)
 
-    def transmit_batch(self, pkts: list[Packet], ifname: str) -> None:
+    def transmit_batch(
+        self, pkts: list[Packet], ifname: str, wire: list[int] | None = None
+    ) -> None:
         """Queue a burst of packets on one egress interface.
 
         Same per-packet semantics as :meth:`transmit` (the interface keeps
         enqueue→kick ordering scalar-exact); the batch form exists so the
         pipeline's vector path pays one interface call per egress run.
+        ``wire`` threads the columnar pipeline's wire-bytes column through
+        to the queue discipline's bulk byte accounting.
         """
         iface = self.interfaces.get(ifname)
         if iface is None or iface.link is None:
@@ -237,7 +241,7 @@ class Node:
                 drop(pkt, DropReason.NO_IFACE)
             return
         self.stats.forwarded += len(pkts)
-        iface.send_batch(pkts)
+        iface.send_batch(pkts, wire)
 
     def after_processing(self, cost_s: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after a modeled CPU cost (immediately when zero).

@@ -283,11 +283,17 @@ class PacketPool:
       scalar fields out of the packet at record time.
     """
 
-    __slots__ = ("_free", "max_size")
+    __slots__ = ("_free", "max_size", "hits", "misses", "releases")
 
     def __init__(self, max_size: int = 4096) -> None:
         self._free: list[Packet] = []
         self.max_size = max_size
+        #: freelist telemetry (exported as ``repro_pool_*`` gauges):
+        #: ``hits`` counts acquires served from the freelist, ``misses``
+        #: fresh constructions, ``releases`` shells returned.
+        self.hits = 0
+        self.misses = 0
+        self.releases = 0
 
     def acquire(
         self,
@@ -300,12 +306,14 @@ class PacketPool:
         """A fresh-looking Packet, recycled from the freelist when possible."""
         free = self._free
         if not free:
+            self.misses += 1
             pkt = Packet(
                 ip=ip, payload_bytes=payload_bytes, flow=flow, seq=seq,
                 created=created,
             )
             pkt.pooled = True
             return pkt
+        self.hits += 1
         pkt = free.pop()
         pkt.ip = ip
         pkt.payload_bytes = payload_bytes
@@ -327,9 +335,27 @@ class PacketPool:
 
     def release(self, pkt: Packet) -> None:
         """Return a delivered pooled packet to the freelist.  Idempotent:
-        the flag flips off on release so a double release cannot alias."""
+        the flag flips off on release so a double release cannot alias.
+
+        The shell is scrubbed *here*, not just at acquire: label stacks,
+        the encap chain, and memoized flow-hash/wire state are per-flow
+        identity a recycled packet must never leak, and clearing the
+        object references (``ip``, ``flow``, ``inner``) also keeps the
+        freelist from pinning headers and whole encap chains alive
+        between uses."""
         if pkt.pooled and len(self._free) < self.max_size:
             pkt.pooled = False
+            if pkt.mpls_stack:
+                pkt.mpls_stack.clear()
+            pkt.ip = None  # type: ignore[assignment]
+            pkt.flow = None
+            pkt.inner = None
+            pkt.encrypted = False
+            pkt.encap_overhead = 0
+            pkt.vc_id = None
+            pkt.flow_hash_cache = None
+            pkt._wire = None
+            self.releases += 1
             self._free.append(pkt)
 
     def __len__(self) -> int:

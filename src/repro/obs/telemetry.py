@@ -118,6 +118,7 @@ class Telemetry:
         self._scrape_interfaces(reg)
         self._scrape_counters(reg)
         self._scrape_caches(reg)
+        self._scrape_pool(reg)
         self._scrape_slo(reg)
         self._scrape_convergence(reg)
         return reg
@@ -238,6 +239,33 @@ class Telemetry:
                         emit(router.name, f"vrf:{vrf_name}", vstats)
                 else:
                     emit(router.name, cache_name, stats)
+
+    def _scrape_pool(self, reg: MetricsRegistry) -> None:
+        """Process-wide packet-freelist health (``repro.net.packet.POOL``).
+
+        Occupancy and hit/miss/release counters expose whether high-rate
+        sources actually recycle shells (hit ratio ~1 in steady state) or
+        the pool is thrashing (drops are never released, so a lossy run
+        leaks shells by design — visible here as misses outpacing
+        releases).
+        """
+        from repro.net.packet import POOL
+
+        reg.gauge(
+            "repro_pool_occupancy", "Packet shells on the freelist"
+        ).set(len(POOL))
+        reg.gauge(
+            "repro_pool_capacity", "Freelist size bound"
+        ).set(POOL.max_size)
+        reg.gauge(
+            "repro_pool_hits", "Acquires served from the freelist"
+        ).set(POOL.hits)
+        reg.gauge(
+            "repro_pool_misses", "Acquires that built a fresh Packet"
+        ).set(POOL.misses)
+        reg.gauge(
+            "repro_pool_releases", "Shells returned to the freelist"
+        ).set(POOL.releases)
 
     def _scrape_slo(self, reg: MetricsRegistry) -> None:
         """Streaming SLO conformance state, when an engine is attached."""

@@ -93,7 +93,13 @@ class QueueDiscipline:
     def enqueue(self, pkt: Packet, now: float) -> bool:
         raise NotImplementedError
 
-    def enqueue_batch(self, pkts: Sequence[Packet], now: float, start: int = 0) -> int:
+    def enqueue_batch(
+        self,
+        pkts: Sequence[Packet],
+        now: float,
+        start: int = 0,
+        wire: Sequence[int] | None = None,
+    ) -> int:
         """Enqueue ``pkts[start:]`` in order; returns how many were accepted.
 
         Per-packet admission (AQM verdicts, tail-drop checks, drop
@@ -102,6 +108,12 @@ class QueueDiscipline:
         attribute loads, so the driving interface may use it whenever the
         scalar path would do back-to-back enqueues with no dequeue in
         between (i.e. while the transmitter is busy).
+
+        ``wire`` is the columnar pipeline's precomputed wire-bytes column
+        aligned with ``pkts`` (``wire[i] == pkts[i].wire_bytes`` by the
+        pipeline's invariant); disciplines may use it to batch their byte
+        accounting without re-reading the packets.  The default
+        implementation ignores it.
         """
         enqueue = self.enqueue
         ok = 0
@@ -193,7 +205,33 @@ class DropTailFifo(QueueDiscipline):
             self.stats.enqueued += 1
         return True
 
-    def enqueue_batch(self, pkts: Sequence[Packet], now: float, start: int = 0) -> int:
+    def enqueue_batch(
+        self,
+        pkts: Sequence[Packet],
+        now: float,
+        start: int = 0,
+        wire: Sequence[int] | None = None,
+    ) -> int:
+        # Columnar bulk admission: with no AQM, no byte bound, and packet
+        # headroom for the whole tail, every verdict is "accept" and no
+        # drop callback can fire — one deque.extend and a C-level sum over
+        # the wire column replace the per-packet walk.  Any condition that
+        # could produce a per-packet verdict falls through to the hoisted
+        # loop below, which stays scalar-exact.
+        if wire is not None and self.drop_policy is None and self.capacity_bytes is None:
+            tail = len(pkts) - start
+            if (
+                self.capacity_packets is None
+                or len(self._q) + tail <= self.capacity_packets
+            ):
+                if start:
+                    pkts = pkts[start:]
+                    wire = wire[start:]
+                self._q.extend(pkts)
+                self._bytes += sum(wire)
+                if COUNTERS:
+                    self.stats.enqueued += tail
+                return tail
         # Hoisted vector form of enqueue(): verdicts (AQM first, then the
         # capacity limits) and drop callbacks stay per packet in arrival
         # order; only the byte counter and ClassStats bumps are batched.

@@ -1,0 +1,395 @@
+"""Property-based parity for the columnar burst data plane (hypothesis).
+
+The struct-of-arrays fast path (``ForwardingPipeline._ingress_columns``)
+claims *observational equivalence* with the scalar per-packet pipeline:
+same counters, same cache arithmetic, same drops in the same buckets,
+same field mutations on every delivered packet.  These tests generate
+random burst compositions — mixed VRFs, label depths 0–3, TTL=1 expiry
+edges, mixed DSCP codepoints, local/no-route/unknown-label rows — run
+the identical burst through both modes on identically-seeded fixtures,
+and compare the full observable state.  ``COLUMNAR_MIN`` is pinned to 1
+so even a 1-row burst exercises the columnar tier.
+
+A second suite turns observability *on* (packet counters + flight
+recorder), which gates the columnar tier off by contract, and demands
+that the hoisted-loop tier still produces uid-normalized traces
+bit-identical to scalar mode.
+
+The pool-recycling regression tests live here too: a recycled
+:class:`~repro.net.packet.Packet` shell must never leak the previous
+flow's label stack, memoized hash, or encap state into the next life.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.dataplane.pipeline as pipeline_mod
+from repro.mpls import Lsr, run_ldp
+from repro.mpls.lfib import LabelOp
+from repro.net.address import IPv4Address
+from repro.net.packet import POOL, IPHeader, MplsEntry, Packet, PacketPool
+from repro.obs import runtime
+from repro.routing import converge
+from repro.topology import Network, attach_host
+from repro.vpn.pe import PeRouter
+from repro.vpn.provision import VpnProvisioner
+
+# ----------------------------------------------------------------------
+# Fixture: pe1 - p1 - p2 - pe2 backbone, two VPNs, one global host.
+#
+# Four nodes so the transit LSRs carry real SWAP entries (with only one
+# P router, PHP turns every transit entry into a POP).  Injection
+# happens at two points: edge bursts at pe1 (imposition, VRF demux,
+# local delivery, no-route) and labeled bursts at p1 (SWAP/POP/unknown
+# label, deep stacks).
+# ----------------------------------------------------------------------
+
+
+def _fixture():
+    net = Network(seed=11)
+    pe1 = net.add_node(PeRouter(net.sim, "pe1"))
+    p1 = net.add_node(Lsr(net.sim, "p1"))
+    p2 = net.add_node(Lsr(net.sim, "p2"))
+    pe2 = net.add_node(PeRouter(net.sim, "pe2"))
+    net.connect(pe1, p1)
+    net.connect(p1, p2)
+    net.connect(p2, pe2)
+    gh = attach_host(net, pe2, "10.99.0.2", name="gh")
+    prov = VpnProvisioner(net)
+    corp = prov.create_vpn("corp")
+    c1 = prov.add_site(corp, pe1, prefix="10.1.0.0/24")
+    c2 = prov.add_site(corp, pe2, prefix="10.2.0.0/24")
+    acme = prov.create_vpn("acme")
+    a1 = prov.add_site(acme, pe1, prefix="10.3.0.0/24")
+    a2 = prov.add_site(acme, pe2, prefix="10.4.0.0/24")
+    converge(net)
+    run_ldp(net)
+    prov.converge_bgp()
+
+    def host_addr(site, stem):
+        h = site.hosts[0]
+        return str(next(a for a in h.addresses if str(a).startswith(stem)))
+
+    info = {
+        "corp_circuit": c1.pe_ifname,
+        "acme_circuit": a1.pe_ifname,
+        "corp_dst": host_addr(c2, "10.2.0."),
+        "acme_dst": host_addr(a2, "10.4.0."),
+        "global_dst": "10.99.0.2",
+        "pe1_local": str(pe1.loopback or next(iter(pe1.addresses))),
+        "pe1_core": "to-p1",
+        "p1_core": "to-pe1",
+        "swap_labels": sorted(
+            l for l, e in p1.lfib._entries.items() if e.op is LabelOp.SWAP
+        ),
+        "pop_labels": sorted(
+            l for l, e in p1.lfib._entries.items()
+            if e.op in (LabelOp.POP, LabelOp.POP_PROCESS)
+        ),
+    }
+    sinks: list[tuple] = []
+
+    def tap(node):
+        node.add_local_sink(
+            lambda pkt, _n=node.name: sinks.append((
+                _n, pkt.flow, pkt.seq, pkt.ip.ttl, pkt.ip.dscp, pkt.hops,
+                tuple((m.label, m.exp, m.ttl) for m in pkt.mpls_stack),
+                pkt.wire_bytes,
+            ))
+        )
+
+    for node in (pe1, gh, c2.hosts[0], a2.hosts[0]):
+        tap(node)
+    return net, (pe1, p1, p2, pe2), info, sinks
+
+
+# Row = (kind, ttl, dscp, pick).  ``pick`` selects among same-kind
+# variants (which SWAP/POP in-label, inner-stack depth).
+_KINDS = [
+    "ip", "vrf_corp", "vrf_acme", "local", "noroute",
+    "swap", "swapdeep", "pop", "badlbl",
+]
+_ROW = st.tuples(
+    st.sampled_from(_KINDS),
+    st.sampled_from([1, 2, 64]),          # TTL=1 rows expire mid-burst
+    st.sampled_from([0, 10, 26, 46, 63]),  # BE / AF11 / AF31 / EF / edge
+    st.integers(0, 3),
+)
+_SPEC = st.lists(_ROW, min_size=1, max_size=24)
+
+
+def _build_bursts(spec, info):
+    """Materialize a spec into (pe1_items, p1_items) arrival lists."""
+    edge: list[tuple[Packet, str]] = []
+    core: list[tuple[Packet, str]] = []
+    for i, (kind, ttl, dscp, pick) in enumerate(spec):
+        ip = None
+        stack: list[MplsEntry] = []
+        if kind == "ip":
+            ip = IPHeader(IPv4Address.parse("10.50.0.1"),
+                          IPv4Address.parse(info["global_dst"]),
+                          dscp=dscp, ttl=ttl)
+            where, ifn = edge, info["pe1_core"]
+        elif kind == "vrf_corp":
+            ip = IPHeader(IPv4Address.parse("10.1.0.9"),
+                          IPv4Address.parse(info["corp_dst"]),
+                          dscp=dscp, ttl=ttl)
+            where, ifn = edge, info["corp_circuit"]
+        elif kind == "vrf_acme":
+            ip = IPHeader(IPv4Address.parse("10.3.0.9"),
+                          IPv4Address.parse(info["acme_dst"]),
+                          dscp=dscp, ttl=ttl)
+            where, ifn = edge, info["acme_circuit"]
+        elif kind == "local":
+            ip = IPHeader(IPv4Address.parse("10.50.0.1"),
+                          IPv4Address.parse(info["pe1_local"]),
+                          dscp=dscp, ttl=ttl)
+            where, ifn = edge, info["pe1_core"]
+        elif kind == "noroute":
+            ip = IPHeader(IPv4Address.parse("10.50.0.1"),
+                          IPv4Address.parse("203.0.113.9"),
+                          dscp=dscp, ttl=ttl)
+            where, ifn = edge, info["pe1_core"]
+        else:
+            # Labeled rows arrive at the transit LSR.  The inner stack
+            # (depth 0–2 below the top) is arbitrary — SWAP never looks
+            # below the top, POP exposes it to the next hop's LFIB.
+            ip = IPHeader(IPv4Address.parse("10.50.0.1"),
+                          IPv4Address.parse(info["global_dst"]),
+                          dscp=dscp, ttl=64)
+            depth_below = pick % 3 if kind == "swapdeep" else pick % 2
+            for d in range(depth_below):
+                stack.append(MplsEntry(label=70 + d, exp=d % 8, ttl=9 + d))
+            if kind in ("swap", "swapdeep"):
+                labels = info["swap_labels"]
+            elif kind == "pop":
+                labels = info["pop_labels"] or info["swap_labels"]
+            else:  # badlbl: never allocated by the LDP label pool
+                labels = [99999]
+            top = labels[pick % len(labels)]
+            stack.append(MplsEntry(label=top, exp=dscp % 8, ttl=ttl))
+            where, ifn = core, info["p1_core"]
+        pkt = Packet(ip=ip, payload_bytes=100 + i, mpls_stack=stack,
+                     flow=("prop", i), seq=i)
+        where.append((pkt, ifn))
+    return edge, core
+
+
+def _snapshot(net, nodes, sinks):
+    out: list = [tuple(sinks)]
+    for n in nodes:
+        s = n.stats
+        out.append((n.name, s.rx_packets, s.forwarded, s.delivered,
+                    s.dropped_no_route, s.dropped_ttl, s.dropped_other,
+                    tuple(sorted(s.by_reason.items()))))
+        for ifn in sorted(n.interfaces):
+            st_ = n.interfaces[ifn].stats
+            out.append((n.name, ifn, st_.tx_packets, st_.tx_bytes,
+                        st_.enqueued, st_.dropped, st_.conditioner_dropped))
+        pl = n.pipeline
+        fc = pl.flow_cache
+        out.append((n.name, "flow", fc.hits, fc.misses, fc.invalidations))
+        lc = pl.label_cache
+        if lc is not None:
+            out.append((n.name, "label", lc.hits, lc.misses,
+                        lc.invalidations))
+        for vname in sorted(getattr(pl, "vrf_caches", {})):
+            vc = pl.vrf_caches[vname]
+            out.append((n.name, "vrf", vname, vc.hits, vc.misses))
+        lf = getattr(n, "lfib", None)
+        if lf is not None:
+            out.append((n.name, "lfib", lf.lookups))
+        out.append((n.name, "fib", n.fib.lookups))
+    return tuple(out)
+
+
+def _run(spec, vector: bool):
+    """One full fixture + injection + drain under the given mode."""
+    runtime.set_vector_mode(vector)
+    saved = pipeline_mod.COLUMNAR_MIN
+    pipeline_mod.COLUMNAR_MIN = 1
+    try:
+        net, nodes, info, sinks = _fixture()
+        edge, core = _build_bursts(spec, info)
+        pe1, p1 = nodes[0], nodes[1]
+        if vector:
+            if edge:
+                pe1.receive_batch(edge)
+            if core:
+                p1.receive_batch(core)
+        else:
+            for pkt, ifn in edge:
+                pe1.receive(pkt, ifn)
+            for pkt, ifn in core:
+                p1.receive(pkt, ifn)
+        net.run(until=net.sim.now + 10.0)
+        return _snapshot(net, nodes, sinks)
+    finally:
+        pipeline_mod.COLUMNAR_MIN = saved
+        runtime.set_vector_mode(True)
+
+
+prop_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@prop_settings
+@given(spec=_SPEC)
+def test_columnar_burst_matches_scalar(spec) -> None:
+    """Random burst composition: columnar tier ≡ scalar, full state."""
+    assert _run(spec, vector=True) == _run(spec, vector=False)
+
+
+@prop_settings
+@given(spec=st.lists(
+    st.tuples(st.sampled_from(["swap", "swapdeep", "pop", "badlbl"]),
+              st.sampled_from([1, 2, 64]),
+              st.sampled_from([0, 10, 26, 46, 63]),
+              st.integers(0, 3)),
+    min_size=4, max_size=24))
+def test_columnar_labeled_core_matches_scalar(spec) -> None:
+    """All-labeled bursts: the uniform-SWAP / fused-TTL fast shape."""
+    assert _run(spec, vector=True) == _run(spec, vector=False)
+
+
+# ----------------------------------------------------------------------
+# Observability on: the columnar gate must close, and the hoisted-loop
+# tier must interleave flight-recorder records exactly like scalar mode.
+# ----------------------------------------------------------------------
+
+
+def _run_traced(spec, vector: bool):
+    runtime.set_vector_mode(vector)
+    saved = pipeline_mod.COLUMNAR_MIN
+    pipeline_mod.COLUMNAR_MIN = 1
+    runtime.reset()
+    runtime.enable(flight_capacity=1 << 20, profile=False)
+    try:
+        net, nodes, info, sinks = _fixture()
+        edge, core = _build_bursts(spec, info)
+        pe1, p1 = nodes[0], nodes[1]
+        if vector:
+            if edge:
+                pe1.receive_batch(edge)
+            if core:
+                p1.receive_batch(core)
+        else:
+            for pkt, ifn in edge:
+                pe1.receive(pkt, ifn)
+            for pkt, ifn in core:
+                p1.receive(pkt, ifn)
+        net.run(until=net.sim.now + 10.0)
+        snap = _snapshot(net, nodes, sinks)
+        records = []
+        for session in runtime.sessions():
+            records.extend(session.flight._ring)
+        ids: dict[int, int] = {}
+        trace = []
+        for r in records:
+            u = ids.setdefault(r.uid, len(ids))
+            trace.append((
+                r.time, r.node, r.event, u, r.flow, r.seq, r.ifname,
+                r.labels, r.in_label, r.out_label, r.reason, r.backlog,
+            ))
+        return snap, trace
+    finally:
+        runtime.reset()
+        pipeline_mod.COLUMNAR_MIN = saved
+        runtime.set_vector_mode(True)
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(spec=_SPEC)
+def test_obs_enabled_batch_parity(spec) -> None:
+    """Counters + flight recorder on: batch mode stays trace-identical."""
+    fast_snap, fast_trace = _run_traced(spec, vector=True)
+    slow_snap, slow_trace = _run_traced(spec, vector=False)
+    assert fast_trace == slow_trace
+    assert fast_snap == slow_snap
+
+
+# ----------------------------------------------------------------------
+# Pool recycling: a reused shell must not leak its previous life.
+# ----------------------------------------------------------------------
+
+
+def _dirty_packet() -> Packet:
+    pkt = Packet(
+        ip=IPHeader(IPv4Address.parse("10.9.0.1"),
+                    IPv4Address.parse("10.9.0.2"), dscp=46, ttl=3),
+        payload_bytes=500, flow=("old", 1), seq=7,
+    )
+    pkt.mpls_stack.append(MplsEntry(label=777, exp=5, ttl=31))
+    pkt.mpls_stack.append(MplsEntry(label=888, exp=1, ttl=31))
+    pkt.flow_hash_cache = 0xDEAD
+    pkt.encap_overhead = 57
+    pkt.encrypted = True
+    pkt.vc_id = 42
+    _ = pkt.wire_bytes  # memoize _wire
+    return pkt
+
+
+def test_pool_recycled_packet_is_clean() -> None:
+    pool = PacketPool(max_size=4)
+    dirty = _dirty_packet()
+    dirty.pooled = True
+    pool.release(dirty)
+    assert len(pool) == 1
+    # Release itself must already scrub retained-object state (the
+    # freelist must not pin headers/stacks while parked).
+    assert dirty.mpls_stack == [] and dirty.ip is None
+    assert dirty.flow_hash_cache is None and dirty._wire is None
+
+    ip = IPHeader(IPv4Address.parse("10.8.0.1"),
+                  IPv4Address.parse("10.8.0.2"), dscp=0, ttl=64)
+    fresh = pool.acquire(ip=ip, payload_bytes=64, flow=("new", 0), seq=0,
+                         created=1.0)
+    assert fresh is dirty  # recycled shell, not a new allocation
+    assert fresh.mpls_stack == []
+    assert fresh.flow_hash_cache is None
+    assert fresh.encap_overhead == 0
+    assert fresh.encrypted is False
+    assert fresh.vc_id is None
+    assert fresh.inner is None
+    assert fresh.ip.dscp == 0 and fresh.ip.ttl == 64
+    assert fresh.hops == 0
+    # wire_bytes recomputes from the new life, no stale memo
+    assert fresh.wire_bytes == 20 + 64
+
+
+def test_pool_counters_track_hits_misses_releases() -> None:
+    pool = PacketPool(max_size=2)
+    ip = IPHeader(IPv4Address.parse("10.8.0.1"),
+                  IPv4Address.parse("10.8.0.2"))
+    a = pool.acquire(ip=ip, payload_bytes=1, flow=None, seq=0, created=0.0)
+    assert (pool.hits, pool.misses, pool.releases) == (0, 1, 0)
+    pool.release(a)
+    assert pool.releases == 1
+    b = pool.acquire(ip=ip, payload_bytes=1, flow=None, seq=1, created=0.5)
+    assert b is a
+    assert (pool.hits, pool.misses) == (1, 1)
+
+
+def test_global_pool_exports_gauges() -> None:
+    from repro.obs.telemetry import Telemetry
+
+    runtime.reset()
+    try:
+        net = Network(seed=1)
+        net.add_router("r")
+        tel = Telemetry(net, profile=False)
+        snap = tel.scrape().snapshot()
+        for gauge in ("repro_pool_occupancy", "repro_pool_capacity",
+                      "repro_pool_hits", "repro_pool_misses",
+                      "repro_pool_releases"):
+            assert gauge in snap
+        (series,) = snap["repro_pool_capacity"]["series"]
+        assert series["value"] == POOL.max_size
+    finally:
+        runtime.reset()
