@@ -34,9 +34,16 @@ def _run_e1(args: argparse.Namespace) -> list[dict[str, Any]]:
     return rows
 
 
+def _measure(args: argparse.Namespace) -> float:
+    """Effective measurement window: ``--smoke`` caps it at 1 s."""
+    if getattr(args, "smoke", False):
+        return min(args.measure, 1.0)
+    return args.measure
+
+
 def _run_e2(args: argparse.Namespace) -> list[dict[str, Any]]:
     from repro.experiments.e2_qos import run_e2
-    rows, _ = run_e2(measure_s=args.measure)
+    rows, _ = run_e2(measure_s=_measure(args), hybrid=getattr(args, "hybrid", False))
     return rows
 
 
@@ -54,7 +61,7 @@ def _run_e4(args: argparse.Namespace) -> list[dict[str, Any]]:
 
 def _run_e5(args: argparse.Namespace) -> list[dict[str, Any]]:
     from repro.experiments.e5_sla import run_e5
-    rows, _ = run_e5(measure_s=args.measure)
+    rows, _ = run_e5(measure_s=_measure(args), hybrid=getattr(args, "hybrid", False))
     return rows
 
 
@@ -105,7 +112,10 @@ def _run_e11(args: argparse.Namespace) -> list[dict[str, Any]]:
 
 def _run_e12(args: argparse.Namespace) -> list[dict[str, Any]]:
     from repro.experiments.e12_elastic import run_e12
-    out = run_e12(duration_s=max(args.measure, 10.0))
+    duration = max(args.measure, 10.0)
+    if getattr(args, "smoke", False):
+        duration = 10.0
+    out = run_e12(duration_s=duration, hybrid=getattr(args, "hybrid", False))
     for name, (rows, _raw) in out.items():
         print_table(rows, title=f"E12 {name}")
     return []
@@ -120,6 +130,13 @@ def _run_e13(args: argparse.Namespace) -> list[dict[str, Any]]:
 def _run_e14(args: argparse.Namespace) -> list[dict[str, Any]]:
     from repro.experiments.e14_intserv import run_e14
     rows, _ = run_e14(measure_s=args.measure)
+    return rows
+
+
+def _run_eh(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.hybrid import run_hybrid_demo
+    n_flows = 2_000 if getattr(args, "smoke", False) else 10_000
+    rows, _ = run_hybrid_demo(n_flows=n_flows)
     return rows
 
 
@@ -138,6 +155,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[dict[str, 
     "e12": ("elastic (TCP-like) traffic: AQM + class protection", _run_e12),
     "e13": ("per-VPN service tiers: gold/silver/bronze (§2.2)", _run_e13),
     "e14": ("IntServ per-flow vs DiffServ aggregation cost (§2.2)", _run_e14),
+    "eh": ("hybrid fluid/packet plane: pure vs hybrid at scale", _run_eh),
 }
 
 
@@ -159,6 +177,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry", metavar="PATH", default=None,
                      help="record a telemetry bundle (metrics, kernel "
                           "profile, flow accounting) to this JSON file")
+    run.add_argument("--hybrid", action="store_true",
+                     help="carry filler/background traffic on the fluid "
+                          "plane (e2, e5, e12; others ignore it)")
+    run.add_argument("--smoke", action="store_true",
+                     help="seconds-scale CI variant: short measurement "
+                          "windows, smaller flow counts")
 
     tel = sub.add_parser("telemetry", help="pretty-print a telemetry bundle")
     tel.add_argument("path", help="bundle written by 'run --telemetry'")

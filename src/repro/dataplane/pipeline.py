@@ -277,11 +277,12 @@ class ForwardingPipeline:
           vectorized gathers/masks, materializing back onto the packets
           in one in-order apply pass.  Taken when no per-packet observer
           is attached (no flight recorder, no drop subscriber — those
-          need the per-row record interleave), the burst is big enough to
-          amortize the ndarray setup (``COLUMNAR_MIN``), and the fast
-          caches are unbounded (a capacity bound can evict one group's
-          entry between another group's interleaved rows, which group
-          resolution cannot reproduce).
+          need the per-row record interleave) and the burst is big enough
+          to amortize the ndarray setup (``COLUMNAR_MIN``).  Capacity-
+          bounded caches are fine here: they evict at per-burst epoch
+          boundaries (:meth:`GenCache.sync`), never on insert, so no
+          fill can invalidate another group's pre-gathered entry
+          mid-burst.
         * The hoisted per-row loop (:meth:`_ingress_batch_loop`)
           otherwise — the traced/small-burst tier, and the reference the
           columnar path is tested against.
@@ -294,13 +295,10 @@ class ForwardingPipeline:
                 receive(pkt, ifname)
             return
         trace = node.trace
-        label_cache = self.label_cache
         if (
             len(items) >= COLUMNAR_MIN
             and trace.flight is None
             and not trace.active("drop")
-            and self.flow_cache.capacity is None
-            and (label_cache is None or label_cache.capacity is None)
         ):
             self._ingress_columns(items)
             return

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.metrics.stats import FlowStats, summarize_flow
+from repro.metrics.stats import FlowStats, summarize_flow, summarize_hybrid_flow
 from repro.net.node import Node
 from repro.qos.classifier import mpls_aware_classifier
 from repro.qos.queues import (
@@ -85,6 +85,7 @@ class ExperimentRun:
     sinks: dict[str, FlowSink] = field(default_factory=dict)
     warmup_s: float = 0.5
     measure_s: float = 5.0
+    fluid: Any = None  # lazily-created FluidRouter (hybrid runs only)
 
     def add_source(self, source: TrafficSource, start: float | None = None) -> TrafficSource:
         """Register and start a source for the measurement window."""
@@ -101,12 +102,28 @@ class ExperimentRun:
             self.sinks[node.name] = sink
         return sink
 
+    def fluid_plane(self, **kwargs: Any) -> Any:
+        """The run's :class:`~repro.traffic.fluid.FluidRouter`, created on
+        first use and armed over the measurement window (same start/stop
+        schedule :meth:`add_source` gives packet sources)."""
+        if self.fluid is None:
+            from repro.traffic.fluid import FluidRouter
+
+            self.fluid = FluidRouter(self.net, **kwargs)
+            self.fluid.start(
+                self.warmup_s, stop_at=self.warmup_s + self.measure_s
+            )
+        return self.fluid
+
     def execute(self, drain_s: float = 1.0) -> None:
         """Run warmup + measurement + drain."""
         self.net.run(self.warmup_s + self.measure_s + drain_s)
 
     def stats_for(self, source: TrafficSource, sink: FlowSink) -> FlowStats:
         return summarize_flow(source, sink, duration_s=self.measure_s)
+
+    def hybrid_stats_for(self, agg: Any, sink: FlowSink) -> FlowStats:
+        return summarize_hybrid_flow(agg, sink, duration_s=self.measure_s)
 
     def manifest(self, config: dict[str, Any] | None = None) -> dict[str, Any] | None:
         """Telemetry run manifest, or ``None`` when telemetry is off.

@@ -68,6 +68,7 @@ def run_config(
     seed: int = 21,
     measure_s: float = 8.0,
     streaming: bool = False,
+    hybrid: bool = False,
 ) -> dict[str, Any]:
     """One config's per-class stats + labeled-hop accounting.
 
@@ -75,6 +76,14 @@ def run_config(
     alongside the batch path; the result gains an ``"slo"`` block whose
     per-flow streaming stats are the parity subject of
     ``tests/test_obs_sketch.py`` (the batch stats stay the oracle).
+
+    ``hybrid=True`` carries the BE bulk filler as a
+    :class:`~repro.traffic.fluid.FluidAggregate` instead of a packet
+    source.  The measurement flows (voice, data) stay real packets in
+    both modes.  Since bulk's 6 Mb/s exceeds the 5 Mb/s bottleneck's
+    headroom everywhere past the access link, the aggregate expands at
+    the first core hop and the queues it contends in see real packets —
+    ``tests/test_hybrid_parity.py`` pins how closely the two modes agree.
     """
     net, src_host, dst_host = _build(config, seed)
 
@@ -99,21 +108,36 @@ def run_config(
             rng=net.streams.stream("e2.data"),
         )
     )
-    bulk = run.add_source(
-        CbrSource(
-            net.sim, src_host.send, "bulk", "10.50.0.1", "10.50.0.2",
-            payload_bytes=1400, dscp=int(DSCP.BE), rate_bps=6e6,
+    if hybrid:
+        from repro.traffic.fluid import FluidAggregate
+
+        bulk = FluidAggregate(
+            net.sim, "bulk", "10.50.0.1", "10.50.0.2",
+            payload_bytes=1400, dscp=int(DSCP.BE), kind="cbr", rate_bps=6e6,
         )
-    )
+        run.fluid_plane().add(bulk, src_host, dst_host)
+    else:
+        bulk = run.add_source(
+            CbrSource(
+                net.sim, src_host.send, "bulk", "10.50.0.1", "10.50.0.2",
+                payload_bytes=1400, dscp=int(DSCP.BE), rate_bps=6e6,
+            )
+        )
 
     run.execute(drain_s=1.0)
     result = {
         "config": config,
         "voice": run.stats_for(voice, sink),
         "data": run.stats_for(data, sink),
-        "bulk": run.stats_for(bulk, sink),
+        "bulk": (
+            run.hybrid_stats_for(bulk, sink) if hybrid
+            else run.stats_for(bulk, sink)
+        ),
         "net": net,
+        "hybrid": hybrid,
     }
+    if hybrid:
+        result["fluid"] = run.fluid.summary()
     if engine is not None:
         engine.finalize()
         result["slo"] = {
@@ -174,12 +198,14 @@ def run_e2_load_sweep(
     return rows, raw
 
 
-def run_e2(seed: int = 21, measure_s: float = 8.0) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+def run_e2(
+    seed: int = 21, measure_s: float = 8.0, hybrid: bool = False
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
     """The E2 table: config × class rows."""
     rows: list[dict[str, Any]] = []
     raw: dict[str, Any] = {}
     for config in CONFIGS:
-        result = run_config(config, seed=seed, measure_s=measure_s)
+        result = run_config(config, seed=seed, measure_s=measure_s, hybrid=hybrid)
         raw[config] = result
         for flow in ("voice", "data", "bulk"):
             stats = result[flow]

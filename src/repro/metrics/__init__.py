@@ -9,13 +9,19 @@ from repro.metrics.sla import (
     evaluate,
 )
 from repro.metrics.probes import ProbeAgent
-from repro.metrics.stats import FlowStats, rfc3550_jitter, summarize_flow
+from repro.metrics.stats import (
+    FlowStats,
+    rfc3550_jitter,
+    summarize_flow,
+    summarize_hybrid_flow,
+)
 from repro.metrics.timeseries import TimeSeries, attach_flow_series, attach_link_series
 from repro.metrics.table import print_table, render_table
 
 __all__ = [
     "BEST_EFFORT_SLA", "DATA_SLA", "VOICE_SLA", "SlaSpec", "SlaVerdict",
     "evaluate", "FlowStats", "rfc3550_jitter", "summarize_flow",
+    "summarize_hybrid_flow",
     "print_table", "render_table",
     "ProbeAgent", "TimeSeries", "attach_flow_series", "attach_link_series",
 ]

@@ -17,7 +17,13 @@ import numpy as np
 from repro.traffic.generators import TrafficSource
 from repro.traffic.sink import FlowRecord, FlowSink
 
-__all__ = ["FlowStats", "delay_percentile", "rfc3550_jitter", "summarize_flow"]
+__all__ = [
+    "FlowStats",
+    "delay_percentile",
+    "rfc3550_jitter",
+    "summarize_flow",
+    "summarize_hybrid_flow",
+]
 
 
 def delay_percentile(samples: np.ndarray | list[float], q: float) -> float:
@@ -143,3 +149,77 @@ def summarize_flow(
             duration_s=duration_s or 0.0,
         )
     return stats
+
+
+def summarize_hybrid_flow(
+    agg,
+    sink: FlowSink,
+    duration_s: float | None = None,
+) -> FlowStats:
+    """Merge a :class:`~repro.traffic.fluid.FluidAggregate`'s two regimes.
+
+    Packets the aggregate spent *expanded* arrive at ``sink`` like any
+    other flow's and contribute real delay samples.  Epochs it spent
+    *fluid* delivered analytically at the path's deterministic delay —
+    those are folded in as ``fluid_delivered_packets`` samples pinned at
+    ``agg.analytic_delay_s``, which shifts the mean/percentiles exactly
+    as that constant-delay population would.  Jitter is computed from the
+    packet samples only (the fluid regime has zero jitter by
+    construction; with no packet samples it reports 0.0) — one of the
+    documented bit-inexactness points of hybrid mode (ARCHITECTURE §12).
+    """
+    rec: FlowRecord = sink.record(agg.flow)
+    pkt_delays = rec.delays_array()
+    arrivals = rec.arrivals_array()
+    fluid_pkts = agg.fluid_delivered_packets
+    received = rec.count + fluid_pkts
+    sent = agg.sent
+    loss = 1.0 - received / sent if sent else 0.0
+
+    if duration_s is None:
+        duration_s = float(arrivals[-1] - arrivals[0]) if rec.count >= 2 else 0.0
+    total_bytes = rec.bytes_received + agg.fluid_delivered_bytes
+    thru = total_bytes * 8.0 / duration_s if duration_s > 0 else 0.0
+
+    if received == 0:
+        return FlowStats(
+            flow=str(agg.flow),
+            sent=sent,
+            received=0,
+            mean_delay_s=float("nan"),
+            p50_delay_s=float("nan"),
+            p95_delay_s=float("nan"),
+            p99_delay_s=float("nan"),
+            max_delay_s=float("nan"),
+            jitter_rfc3550_s=float("nan"),
+            delay_std_s=float("nan"),
+            loss_ratio=1.0 if sent else 0.0,
+            throughput_bps=0.0,
+            duration_s=duration_s or 0.0,
+        )
+
+    if fluid_pkts:
+        delays = np.concatenate(
+            [pkt_delays, np.full(fluid_pkts, agg.analytic_delay_s)]
+        )
+    else:
+        delays = pkt_delays
+    if rec.count >= 2:
+        jitter = rfc3550_jitter(arrivals - pkt_delays, arrivals)
+    else:
+        jitter = 0.0
+    return FlowStats(
+        flow=str(agg.flow),
+        sent=sent,
+        received=received,
+        mean_delay_s=float(delays.mean()),
+        p50_delay_s=float(np.percentile(delays, 50)),
+        p95_delay_s=float(np.percentile(delays, 95)),
+        p99_delay_s=float(np.percentile(delays, 99)),
+        max_delay_s=float(delays.max()),
+        jitter_rfc3550_s=jitter,
+        delay_std_s=float(delays.std()),
+        loss_ratio=max(0.0, loss),
+        throughput_bps=thru,
+        duration_s=duration_s,
+    )

@@ -144,7 +144,16 @@ class Interface:
         self.sim = sim
         self.node = node
         self.name = name
-        self.rate_bps = float(rate_bps)
+        # Fluid background load (hybrid traffic plane): analytic rate of
+        # fluid aggregates currently crossing this interface.  Packets
+        # share the transmitter with that load, so serialization runs at
+        # the *effective* residual rate.  ``_eff_rate_bps`` is precomputed
+        # whenever either input changes (the ``rate_bps`` property setter
+        # and ``set_fluid_load``) so the hot path pays nothing when no
+        # fluid is charged (it equals rate_bps exactly, same float).
+        self.fluid_load_bps = 0.0
+        self._rate_bps = float(rate_bps)
+        self._eff_rate_bps = self._rate_bps
         self.qdisc = qdisc  # property setter: also wires the drop callback
         self.link: Link | None = None
         self.conditioners: list[Conditioner] = []
@@ -169,6 +178,34 @@ class Interface:
     def add_conditioner(self, fn: Conditioner) -> None:
         """Append an egress conditioner (classify/meter/mark/police stage)."""
         self.conditioners.append(fn)
+
+    @property
+    def rate_bps(self) -> float:
+        """Line rate.  Assignment (tests reshape links post-construction)
+        re-derives the effective serialization rate under any fluid load."""
+        return self._rate_bps
+
+    @rate_bps.setter
+    def rate_bps(self, value: float) -> None:
+        self._rate_bps = float(value)
+        self.set_fluid_load(self.fluid_load_bps)
+
+    def set_fluid_load(self, bps: float) -> None:
+        """Charge ``bps`` of analytic (fluid) background load on this egress.
+
+        Called by the hybrid traffic plane's FluidRouter at envelope
+        epochs.  Real packets then serialize at the residual rate
+        ``rate_bps - bps`` (floored at 0.1% of line rate so a transient
+        overshoot cannot stall the transmitter), which is how packet-mode
+        queues *see* fluid utilization they never enqueue.  ``bps = 0``
+        restores the exact original rate — the pure-packet hot path is
+        untouched (``Interface.rate_bps`` itself is never rewritten).
+        """
+        self.fluid_load_bps = float(bps)
+        if bps <= 0.0:
+            self._eff_rate_bps = self._rate_bps
+        else:
+            self._eff_rate_bps = max(self._rate_bps - bps, self._rate_bps * 1e-3)
 
     # ------------------------------------------------------------------
     # Queue discipline: assignment (including post-construction swaps by
@@ -337,7 +374,7 @@ class Interface:
         if fl is not None:
             fl.dequeue(now, self.node.name, pkt, self.name, len(self._qdisc))
         self._busy = True
-        tx_time = pkt.wire_bytes * 8.0 / self.rate_bps
+        tx_time = pkt.wire_bytes * 8.0 / self._eff_rate_bps
         self.stats.busy_time += tx_time
         self.sim.schedule_call(tx_time, self._transmit_done, pkt)
 

@@ -316,6 +316,9 @@ class SloEngine:
         self._class_specs: dict[tuple[str, str], SlaSpec] = {}
         self._node_vrf: dict[str, str] = {}
         self.delivered = 0
+        #: flow -> {"packets", "bytes", "delay_s"} analytic deliveries
+        #: reported by a FluidRouter for fully-fluid aggregates.
+        self.fluid: dict[Any, dict[str, Any]] = {}
 
     # -- configuration --------------------------------------------------
     def bind(self, flow: Any, spec: SlaSpec) -> None:
@@ -372,6 +375,29 @@ class SloEngine:
                 )
             cstream.observe(now, delay, original.seq, original.wire_bytes)
 
+    def account_fluid(
+        self, flow: Any, *, packets: int, bytes_: int, delay_s: float, now: float
+    ) -> None:
+        """Fold a fluid-regime delivery delta into the engine.
+
+        Called by :class:`repro.traffic.fluid.FluidRouter` once per
+        envelope epoch for aggregates that stayed fully fluid.  Analytic
+        deliveries are tallied separately from packet streams — they
+        carry a single deterministic delay, so pushing them through the
+        windowed conformance sketches would only dilute the percentile
+        state real packets earned.  ``summary()`` exposes them under
+        ``"fluid"`` so manifests show the merged picture.
+        """
+        rec = self.fluid.get(flow)
+        if rec is None:
+            rec = self.fluid[flow] = {
+                "packets": 0, "bytes": 0, "delay_s": delay_s, "last_s": now,
+            }
+        rec["packets"] += packets
+        rec["bytes"] += bytes_
+        rec["delay_s"] = delay_s
+        rec["last_s"] = now
+
     # -- reporting ------------------------------------------------------
     def finalize(self) -> None:
         """Close trailing windows on every stream (call once, at end).
@@ -424,7 +450,7 @@ class SloEngine:
                 "windows_violated": stream.windows_violated,
                 "worst_window": stream.worst_window,
             }
-        return {
+        out: dict[str, Any] = {
             "window_s": self.window_s,
             "sketch_k": self.sketch_k,
             "delivered": self.delivered,
@@ -432,3 +458,15 @@ class SloEngine:
             "class_streams": len(self.classes),
             "streams": streams,
         }
+        if self.fluid:
+            out["fluid"] = {
+                str(flow): {
+                    "packets": rec["packets"],
+                    "bytes": rec["bytes"],
+                    "delay_s": round(rec["delay_s"], 9),
+                }
+                for flow, rec in sorted(
+                    self.fluid.items(), key=lambda kv: str(kv[0])
+                )
+            }
+        return out

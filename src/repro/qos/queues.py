@@ -90,6 +90,28 @@ class ClassStats:
 class QueueDiscipline:
     """Abstract scheduler; see module docstring for the contract."""
 
+    #: Fluid background load (hybrid traffic plane): the analytic rate of
+    #: fluid aggregates sharing this egress and the equivalent standing
+    #: backlog they contribute.  Class-level zero defaults keep the
+    #: pure-packet path cost-free; the FluidRouter writes instance values
+    #: at envelope epochs via :meth:`set_fluid_background`.  Disciplines
+    #: that consult AQM state fold ``fluid_standing_bytes`` into the
+    #: backlog their drop policy sees (see :class:`DropTailFifo`) so RED
+    #: reacts to congestion contributed by traffic it never enqueues.
+    fluid_background_bps: float = 0.0
+    fluid_standing_bytes: int = 0
+
+    def set_fluid_background(self, bps: float, standing_bytes: int = 0) -> None:
+        """Charge analytic fluid load on this discipline (hybrid mode).
+
+        ``bps`` is the summed envelope rate crossing the egress;
+        ``standing_bytes`` an M/M/1-style estimate of the backlog that
+        load would keep resident.  Zeroing both restores exact
+        pure-packet behaviour.
+        """
+        self.fluid_background_bps = float(bps)
+        self.fluid_standing_bytes = int(standing_bytes)
+
     def enqueue(self, pkt: Packet, now: float) -> bool:
         raise NotImplementedError
 
@@ -179,8 +201,11 @@ class DropTailFifo(QueueDiscipline):
         self.on_drop = cb
 
     def enqueue(self, pkt: Packet, now: float) -> bool:
+        # ``fluid_standing_bytes`` (class default 0) folds the hybrid
+        # plane's analytic backlog into the AQM view and the shared-buffer
+        # byte bound; pure-packet runs add a literal zero.
         if self.drop_policy is not None and self.drop_policy.should_drop(
-            pkt, self._bytes, now
+            pkt, self._bytes + self.fluid_standing_bytes, now
         ):
             if COUNTERS:
                 self.stats.dropped += 1
@@ -192,7 +217,8 @@ class DropTailFifo(QueueDiscipline):
             and len(self._q) >= self.capacity_packets
         ) or (
             self.capacity_bytes is not None
-            and self._bytes + pkt.wire_bytes > self.capacity_bytes
+            and self._bytes + pkt.wire_bytes + self.fluid_standing_bytes
+            > self.capacity_bytes
         ):
             if COUNTERS:
                 self.stats.dropped += 1
@@ -243,18 +269,19 @@ class DropTailFifo(QueueDiscipline):
         stats = self.stats
         on_drop = self.on_drop
         nbytes = self._bytes
+        fsb = self.fluid_standing_bytes
         ok = 0
         for i in range(start, len(pkts)):
             pkt = pkts[i]
             wb = pkt.wire_bytes
-            if policy is not None and policy.should_drop(pkt, nbytes, now):
+            if policy is not None and policy.should_drop(pkt, nbytes + fsb, now):
                 if counters:
                     stats.dropped += 1
                     if on_drop is not None:
                         on_drop(pkt, DropReason.QUEUE_AQM, now)
                 continue
             if (cap_p is not None and len(q) >= cap_p) or (
-                cap_b is not None and nbytes + wb > cap_b
+                cap_b is not None and nbytes + wb + fsb > cap_b
             ):
                 if counters:
                     stats.dropped += 1
@@ -278,7 +305,9 @@ class DropTailFifo(QueueDiscipline):
             self.stats.dequeued += 1
             self.stats.bytes_sent += pkt.wire_bytes
         if self.drop_policy is not None:
-            self.drop_policy.notify_dequeue(self._bytes, now)
+            self.drop_policy.notify_dequeue(
+                self._bytes + self.fluid_standing_bytes, now
+            )
         return pkt
 
     def __len__(self) -> int:

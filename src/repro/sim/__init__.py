@@ -1,11 +1,20 @@
 """Discrete-event simulation kernel: scheduler, RNG streams, tracing."""
 
-from repro.sim.engine import Event, SimulationError, Simulator, Timer, bind, drain
+from repro.sim.engine import (
+    Event,
+    Periodic,
+    SimulationError,
+    Simulator,
+    Timer,
+    bind,
+    drain,
+)
 from repro.sim.randomness import RandomStreams
 from repro.sim.trace import Counter, TraceBus, TraceRecord
 
 __all__ = [
     "Event",
+    "Periodic",
     "SimulationError",
     "Simulator",
     "Timer",

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from types import MethodType
 from typing import Any, Callable, Iterable
 
-__all__ = ["Event", "Simulator", "SimulationError", "Timer"]
+__all__ = ["Event", "Periodic", "Simulator", "SimulationError", "Timer"]
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
@@ -604,6 +604,34 @@ class Simulator:
         self._batch_func = func
         self._batch_dispatch = dispatch if func is not None else None
 
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        first_delay: float | None = None,
+    ) -> "Periodic":
+        """Schedule ``callback()`` every ``interval`` seconds, starting
+        ``first_delay`` (default: one interval) from now.
+
+        Returns a :class:`Periodic` handle whose :meth:`Periodic.cancel`
+        stops the recurrence.  This is the rate-change channel of the
+        hybrid fluid/packet traffic plane: envelope epochs (fluid
+        aggregate rate redraws, expansion-point reprogramming) ride the
+        same event heap as per-packet events, so fluid and packet state
+        stay causally ordered on one clock.  Each firing schedules the
+        next from the *nominal* grid (``t0 + k*interval`` drift-free
+        accumulation is not attempted — intervals are exact float sums,
+        which is what the deterministic replay contract needs).
+        """
+        if not 0.0 < interval < math.inf:
+            raise SimulationError(f"interval must be positive and finite, got {interval}")
+        p = Periodic(self, interval, callback)
+        p._event = self.schedule(
+            interval if first_delay is None else first_delay, p._fire
+        )
+        return p
+
     def peek(self) -> float:
         """Time of the next live event, or ``inf`` if none pending."""
         times = self._times
@@ -664,6 +692,44 @@ class Timer:
     def _fire(self) -> None:
         self._event = None
         self.callback()
+
+
+class Periodic:
+    """Recurring event produced by :meth:`Simulator.every`.
+
+    Self-rearming: each firing runs the callback then schedules the next
+    occurrence, so a cancel from *inside* the callback (or from anywhere
+    else) stops the recurrence cleanly.  Cancellation is O(1) — the
+    pending event is tombstoned like any other.
+    """
+
+    __slots__ = ("sim", "interval", "callback", "_event", "_stopped")
+
+    def __init__(
+        self, sim: Simulator, interval: float, callback: Callable[[], None]
+    ) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self._event: Event | None = None
+        self._stopped = False
+
+    def cancel(self) -> None:
+        """Stop the recurrence.  Idempotent."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    @property
+    def active(self) -> bool:
+        return not self._stopped
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback()
+        if not self._stopped:
+            self._event = self.sim.schedule(self.interval, self._fire)
 
 
 def drain(sim: Simulator, horizon: float, chunk: float = 1.0) -> Iterable[float]:

@@ -1,7 +1,12 @@
 """Traffic generation and collection."""
 
 from repro.traffic.elastic import ElasticSource
-
+from repro.traffic.fluid import (
+    FluidAggregate,
+    FluidPath,
+    FluidRouter,
+    PacketExpander,
+)
 from repro.traffic.generators import (
     CbrSource,
     OnOffSource,
@@ -16,4 +21,5 @@ __all__ = [
     "CbrSource", "OnOffSource", "ParetoOnOffSource", "PoissonSource",
     "TrafficSource", "voice_source", "FlowRecord", "FlowSink",
     "ElasticSource",
+    "FluidAggregate", "FluidPath", "FluidRouter", "PacketExpander",
 ]

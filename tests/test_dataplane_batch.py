@@ -153,14 +153,33 @@ class TestGenCacheCapacity:
             c.put(i, i)
         assert len(c) == 5000 and c.evictions == 0
 
-    def test_capacity_evicts_oldest_first(self) -> None:
+    def test_capacity_evicts_oldest_first_at_epoch(self) -> None:
         c = GenCache(_FakeTable(), capacity=2)
         c.put("a", 1)
         c.put("b", 2)
-        c.put("c", 3)  # evicts "a" (FIFO insertion order)
+        c.put("c", 3)  # overshoot tolerated until the next epoch boundary
+        assert len(c) == 3 and c.evictions == 0
+        assert c.get("a") is None  # epoch trim evicts "a" (FIFO) first
         assert len(c) == 2 and c.evictions == 1
-        assert c.get("a") is None
         assert c.get("b") == 2 and c.get("c") == 3
+
+    def test_sync_is_an_epoch_boundary(self) -> None:
+        c = GenCache(_FakeTable(), capacity=2)
+        for key in "abcd":
+            c.put(key, key)
+        assert len(c) == 4 and c.evictions == 0
+        entries = c.sync()  # per-burst trim: oldest two go in one pass
+        assert list(entries) == ["c", "d"] and c.evictions == 2
+
+    def test_no_eviction_between_put_and_sync(self) -> None:
+        # The columnar-tier contract: fills inside a burst never evict, so
+        # a pre-gathered entry stays valid until the next sync()/get().
+        c = GenCache(_FakeTable(), capacity=1)
+        entries = c.sync()
+        c.put("a", 1)
+        c.put("b", 2)
+        assert entries["a"] == 1 and entries["b"] == 2
+        assert list(c.sync()) == ["b"] and c.evictions == 1
 
     def test_overwrite_does_not_evict(self) -> None:
         c = GenCache(_FakeTable(), capacity=2)
@@ -174,6 +193,7 @@ class TestGenCacheCapacity:
         c = GenCache(_FakeTable(), capacity=1)
         c.put("a", 1)
         c.put("b", 2)
+        c.sync()
         assert c.stats()["evictions"] == 1
 
     def test_sync_flushes_stale_entries_once(self) -> None:
