@@ -1,1 +1,3 @@
 """Reproduction of the ICPP 2000 MPLS VPN QoS architecture paper."""
+
+__version__ = "1.0.0"

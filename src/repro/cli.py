@@ -215,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--telemetry", action="store_true",
                        help="collect per-task telemetry manifests into the "
                             "report (disables the counters-off fast path)")
+    sweep.add_argument("--warm-start", action="store_true",
+                       help="build + converge each distinct scenario base "
+                            "once, snapshot it (repro.sim.snapshot), and "
+                            "restore per task instead of re-provisioning; "
+                            "rows are byte-identical to a cold sweep")
     sweep.add_argument("--out", metavar="PATH", default=None,
                        help="write the merged report to this JSON file")
     sweep.add_argument("--spill-dir", metavar="DIR", default=None,
@@ -222,6 +227,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "(multi-worker runs; kept after the merge). "
                             "Default: a temporary directory, removed "
                             "once merged")
+
+    snap = sub.add_parser(
+        "snapshot",
+        help="save/restore converged simulator state",
+        description="Checkpoint a built + converged scenario as a "
+                    "versioned repro.sim.snapshot image, restore one to "
+                    "verify it, or inspect an image's header.",
+    )
+    snap_sub = snap.add_subparsers(dest="snapshot_command", required=True)
+    snap_save = snap_sub.add_parser(
+        "save", help="build + converge a scenario base and snapshot it")
+    snap_save.add_argument("path", help="output snapshot file")
+    snap_save.add_argument(
+        "--base", required=True, metavar="KEY",
+        help="scenario base key, same naming as the warm-start sweep: "
+             "e1/overlay/<sites>, e1/mpls/<sites>, e2/<config>, e5/<stage>")
+    snap_restore = snap_sub.add_parser(
+        "restore", help="restore a snapshot and verify it round-trips")
+    snap_restore.add_argument("path", help="snapshot file to restore")
+    snap_info = snap_sub.add_parser(
+        "info", help="print a snapshot file's schema/version header")
+    snap_info.add_argument("path", help="snapshot file to inspect")
 
     slo = sub.add_parser(
         "slo",
@@ -258,6 +285,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _show_telemetry(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "snapshot":
+        return _run_snapshot(args)
     if args.command == "slo":
         return _run_slo(args)
 
@@ -320,7 +349,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
     print(f"[sweep: {len(tasks)} task(s), {args.workers} worker(s)]")
     report = run_sweep(
         tasks, workers=args.workers, telemetry=args.telemetry,
-        spill_dir=args.spill_dir,
+        spill_dir=args.spill_dir, warm_start=args.warm_start,
     )
 
     if report["rows"]:
@@ -329,6 +358,10 @@ def _run_sweep(args: argparse.Namespace) -> int:
         print(f"\n[task {failure['index']} {failure['name']} FAILED]")
         print(failure["error"].rstrip())
     wall = report["timing"]["wall_s"]
+    warm = report["timing"].get("warm_start")
+    if warm:
+        print(f"[warm start: {len(warm['bases'])} base(s), "
+              f"{warm['bytes']:,} bytes, built in {warm['build_s']:.1f}s]")
     print(f"[sweep: {report['ok']}/{report['tasks']} ok in {wall:.1f}s wall clock]")
 
     if args.out:
@@ -337,6 +370,51 @@ def _run_sweep(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"[sweep report -> {args.out}]")
     return 0 if not report["failed"] else 1
+
+
+def _run_snapshot(args: argparse.Namespace) -> int:
+    """``repro snapshot save/restore/info``: checkpoint converged state."""
+    from repro.sim.snapshot import (
+        SnapshotError, load, pending_schedule, read_header,
+        verify_cache_coherence,
+    )
+
+    if args.snapshot_command == "save":
+        from repro.sweep.runner import _build_base
+
+        try:
+            blob = _build_base(args.base)
+        except (ValueError, KeyError) as exc:
+            print(f"unknown base {args.base!r}: {exc}")
+            return 1
+        with open(args.path, "wb") as fh:
+            fh.write(blob)
+        print(f"[snapshot: base {args.base} -> {args.path} "
+              f"({len(blob):,} bytes)]")
+        return 0
+
+    try:
+        if args.snapshot_command == "info":
+            header = read_header(args.path)
+            for key in sorted(header):
+                print(f"  {key}: {header[key]}")
+            return 0
+        # restore
+        net, extras = load(args.path)
+        problems = verify_cache_coherence(net)
+        pending = pending_schedule(net.sim)
+        print(f"[snapshot: {len(net.nodes)} node(s), "
+              f"{len(net.duplex_links)} link(s), t={net.sim.now}s, "
+              f"{len(pending)} pending event(s), "
+              f"{len(extras)} extra(s), "
+              f"cache deltas: {len(problems)}]")
+        return 0
+    except OSError as exc:
+        print(f"{args.path}: {exc.strerror or exc}")
+        return 1
+    except SnapshotError as exc:
+        print(f"{args.path}: {exc}")
+        return 1
 
 
 def _run_slo(args: argparse.Namespace) -> int:

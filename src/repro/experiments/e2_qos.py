@@ -69,8 +69,16 @@ def run_config(
     measure_s: float = 8.0,
     streaming: bool = False,
     hybrid: bool = False,
+    prebuilt: tuple[Network, Any, Any] | None = None,
 ) -> dict[str, Any]:
     """One config's per-class stats + labeled-hop accounting.
+
+    ``prebuilt`` short-circuits the build: a ``(net, src_host, dst_host)``
+    triple — in practice a converged network restored from a
+    :mod:`repro.sim.snapshot` image by the warm-start sweep path — is used
+    as-is instead of building and converging from scratch.  The network's
+    RNG streams are reseeded to ``seed`` (builds consume no streams, so
+    this is exactly equivalent to a cold build with that seed).
 
     ``streaming=True`` attaches a live :class:`repro.obs.slo.SloEngine`
     alongside the batch path; the result gains an ``"slo"`` block whose
@@ -85,7 +93,12 @@ def run_config(
     the first core hop and the queues it contends in see real packets —
     ``tests/test_hybrid_parity.py`` pins how closely the two modes agree.
     """
-    net, src_host, dst_host = _build(config, seed)
+    if prebuilt is not None:
+        net, src_host, dst_host = prebuilt
+        if net.streams.seed != seed:
+            net.streams.reseed(seed)
+    else:
+        net, src_host, dst_host = _build(config, seed)
 
     engine = None
     if streaming:

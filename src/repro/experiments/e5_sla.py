@@ -117,8 +117,15 @@ def run_stage(
     measure_s: float = 8.0,
     streaming: bool = False,
     hybrid: bool = False,
+    prebuilt: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """Run one ablation stage and evaluate the SLAs.
+
+    ``prebuilt`` short-circuits the build: the ctx dict ``_build`` returns
+    (``net``/``prov``/``s1``/``s2``/``o1``/``o2``) — in practice restored
+    from a :mod:`repro.sim.snapshot` image by the warm-start sweep path —
+    is used as-is, and the RNG streams are reseeded to ``seed`` (builds
+    consume no streams, so this matches a cold build with that seed).
 
     With ``streaming=True`` a live :class:`repro.obs.slo.SloEngine` rides
     along: the same SLAs are checked continuously from bounded-memory
@@ -131,7 +138,12 @@ def run_stage(
     congestion as real packets — the corp flows (all real) experience the
     same contention either way, within the parity tolerances.
     """
-    ctx = _build(stage, seed)
+    if prebuilt is not None:
+        ctx = prebuilt
+        if ctx["net"].streams.seed != seed:
+            ctx["net"].streams.reseed(seed)
+    else:
+        ctx = _build(stage, seed)
     net = ctx["net"]
     s1, s2, o1, o2 = ctx["s1"], ctx["s2"], ctx["o1"], ctx["o2"]
     h1, h2 = s1.hosts[0], s2.hosts[0]

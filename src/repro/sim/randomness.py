@@ -63,6 +63,52 @@ class RandomStreams:
             self._streams[name] = gen
         return gen
 
+    # ------------------------------------------------------------------
+    # State capture/restore — the snapshot layer serializes every named
+    # stream's bit-generator state so a restored run draws the exact same
+    # variates an uninterrupted run would have.
+    def get_state(self) -> dict:
+        """Snapshot of the whole factory: seed + per-stream PCG64 state.
+
+        The per-stream payload is ``Generator.bit_generator.state``, a
+        plain dict of ints/strings, so the result is JSON/pickle-safe.
+        """
+        return {
+            "seed": self._seed,
+            "streams": {
+                name: gen.bit_generator.state
+                for name, gen in self._streams.items()
+            },
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore a :meth:`get_state` snapshot, recreating every stream.
+
+        Streams absent from ``state`` are dropped; streams present are
+        rebuilt with their saved bit-generator state, so the next draw on
+        each continues exactly where the snapshot left off.
+        """
+        self._seed = int(state["seed"])
+        self._streams = {}
+        for name, bg_state in state["streams"].items():
+            gen = self.stream(name)       # derive fresh, then overwrite
+            gen.bit_generator.state = bg_state
+
+    def reseed(self, seed: int) -> None:
+        """Change the root seed of a *pristine* factory.
+
+        Warm-started sweep tasks restore a converged snapshot (whose build
+        consumed no streams) and reseed before the first draw.  Reseeding
+        after streams exist would silently split one run across two seeds,
+        so that is an error.
+        """
+        if self._streams:
+            raise RuntimeError(
+                "cannot reseed RandomStreams after streams were created "
+                f"({sorted(self._streams)}); reseed before the first draw"
+            )
+        self._seed = int(seed)
+
     def __contains__(self, name: str) -> bool:
         return name in self._streams
 

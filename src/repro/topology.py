@@ -149,8 +149,11 @@ class Network:
         # Both default empty/None so unobserved networks pay nothing.
         self.link_listeners: list[Callable[[Link], None]] = []
         self.convergence_tracer = None
-        self._loopback_iter = iter(range(1, self.LOOPBACK_POOL.num_addresses - 1))
-        self._linknet_iter = self.LINKNET_POOL.subnets(30)
+        # Address allocators are plain integer cursors, not live iterators:
+        # the network must serialize (repro.sim.snapshot pickles the whole
+        # object graph) and a half-consumed generator cannot.
+        self._next_loopback = 1
+        self._next_linknet = 0
         # ``None`` unless the process-wide telemetry switch is on (see
         # repro.obs.runtime); imported late so repro.topology stays importable
         # without pulling the whole observability stack into every user.
@@ -176,8 +179,26 @@ class Network:
         node.trace = self.trace
         self.topology_generation += 1
         if loopback and node.loopback is None:
-            node.set_loopback(self.LOOPBACK_POOL.host(next(self._loopback_iter)))
+            node.set_loopback(self._alloc_loopback())
         return node
+
+    def _alloc_loopback(self) -> IPv4Address:
+        """Next free loopback /32 (resumable: a restored network keeps
+        allocating where the snapshotted one stopped)."""
+        n = self._next_loopback
+        if n >= self.LOOPBACK_POOL.num_addresses - 1:
+            raise ValueError("loopback pool exhausted")
+        self._next_loopback = n + 1
+        return self.LOOPBACK_POOL.host(n)
+
+    def _alloc_linknet(self) -> Prefix:
+        """Next free point-to-point /30 out of the linknet pool."""
+        step = 1 << 2  # /30
+        base = self.LINKNET_POOL.network + self._next_linknet * step
+        if base >= self.LINKNET_POOL.network + self.LINKNET_POOL.num_addresses:
+            raise ValueError("linknet pool exhausted")
+        self._next_linknet += 1
+        return Prefix(base, 30)
 
     def add_router(self, name: str, **kw) -> Router:
         return self.add_node(Router(self.sim, name, **kw))  # type: ignore[return-value]
@@ -221,7 +242,7 @@ class Network:
         na.add_interface(if_ab)
         nb.add_interface(if_ba)
 
-        subnet = next(self._linknet_iter)
+        subnet = self._alloc_linknet()
         addr_a, addr_b = subnet.host(1), subnet.host(2)
         na.add_address(addr_a, if_ab_name, subnet)
         nb.add_address(addr_b, if_ba_name, subnet)

@@ -109,11 +109,18 @@ class OverlayVpnBuilder:
     def __init__(self, net: "Network", domain: str = "core") -> None:
         self.net = net
         self.domain = domain
-        self._vc_ids = itertools.count(1)
+        # Integer cursor, not itertools.count: the builder rides in
+        # snapshots (repro.sim.snapshot) and live iterators can't pickle.
+        self._next_vc_id = 1
         # The topology is static during a build; the network's cached
         # domain view memoizes one SPF per source, so a 200-site full mesh
         # (~40k circuits) never recomputes Dijkstra per circuit.
         self._view: "DomainView | None" = None
+
+    def _alloc_vc_id(self) -> int:
+        n = self._next_vc_id
+        self._next_vc_id = n + 1
+        return n
 
     def _domain_view(self) -> "DomainView":
         if self._view is None:
@@ -141,7 +148,7 @@ class OverlayVpnBuilder:
         path_idx = rev[::-1]
         names = view.names
         # Per-hop VC ids, swapped like DLCIs; allocate one per segment.
-        ids = [next(self._vc_ids) for _ in range(len(path_idx) - 1)]
+        ids = [self._alloc_vc_id() for _ in range(len(path_idx) - 1)]
         for i, (u, v) in enumerate(zip(path_idx, path_idx[1:])):
             node = self.net.nodes[names[u]]
             assert isinstance(node, VcRouter), f"{names[u]} is not a VcRouter"

@@ -17,9 +17,8 @@ local site."  :class:`VpnProvisioner` automates exactly that:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator
+from typing import TYPE_CHECKING
 
 from repro.net.address import IPv4Address, Prefix
 from repro.net.node import Host
@@ -72,14 +71,18 @@ class Vpn:
     rt_hub: RouteTarget | None = None
     rt_spoke: RouteTarget | None = None
     sites: list[Site] = field(default_factory=list)
-    _site_prefixes: Iterator[Prefix] = field(default=None, repr=False)  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self._site_prefixes is None:
-            self._site_prefixes = self.supernet.subnets(24)
+    # Cursor into the supernet's /24s — an index rather than a live
+    # generator so a provisioned VPN can be snapshotted (pickled) and
+    # keeps allocating where it left off after a restore.
+    _next_site_prefix: int = field(default=0, repr=False)
 
     def next_site_prefix(self) -> Prefix:
-        return next(self._site_prefixes)
+        step = 1 << (32 - 24)
+        base = self.supernet.network + self._next_site_prefix * step
+        if base >= self.supernet.network + self.supernet.num_addresses:
+            raise ValueError(f"VPN {self.name}: site-prefix pool exhausted")
+        self._next_site_prefix += 1
+        return Prefix(base, 24)
 
 
 class VpnProvisioner:
@@ -97,8 +100,20 @@ class VpnProvisioner:
         self.access_rate_bps = access_rate_bps
         self.access_delay_s = access_delay_s
         self.vpns: dict[str, Vpn] = {}
-        self._rd_numbers = itertools.count(1)
-        self._site_ids = itertools.count(1)
+        # Integer cursors (not itertools.count objects) so the provisioner
+        # serializes with the network in a simulator snapshot.
+        self._next_rd_number = 1
+        self._next_site_id = 1
+
+    def _alloc_rd_number(self) -> int:
+        n = self._next_rd_number
+        self._next_rd_number = n + 1
+        return n
+
+    def _alloc_site_id(self) -> int:
+        n = self._next_site_id
+        self._next_site_id = n + 1
+        return n
 
     # ------------------------------------------------------------------
     def create_vpn(self, name: str, supernet: str | Prefix = "10.0.0.0/8") -> Vpn:
@@ -106,7 +121,7 @@ class VpnProvisioner:
         overlapping plans are the E7 scenario and are fully supported."""
         if name in self.vpns:
             raise ValueError(f"duplicate VPN {name!r}")
-        number = next(self._rd_numbers)
+        number = self._alloc_rd_number()
         vpn = Vpn(
             name=name,
             rd=RouteDistinguisher(self.asn, number),
@@ -121,7 +136,7 @@ class VpnProvisioner:
     ) -> Vpn:
         """Register a hub-and-spoke VPN (distinct hub/spoke route targets)."""
         vpn = self.create_vpn(name, supernet)
-        number = next(self._rd_numbers)
+        number = self._alloc_rd_number()
         vpn.topology = "hub-spoke"
         vpn.rt_hub = RouteTarget(self.asn, number)
         vpn.rt_spoke = RouteTarget(self.asn, number + 50000)
@@ -157,7 +172,7 @@ class VpnProvisioner:
                 raise ValueError(f"mesh VPN sites cannot have role {role!r}")
             role = "mesh"
 
-        site_id = next(self._site_ids)
+        site_id = self._alloc_site_id()
         site_prefix = self._pick_prefix(v, prefix)
         ce, dl = self._wire_ce(v, pe, site_id)
         ce_ifname, pe_ifname = dl.if_ab.name, dl.if_ba.name
@@ -207,7 +222,7 @@ class VpnProvisioner:
         v = self.vpns[vpn] if isinstance(vpn, str) else vpn
         if v.topology != "hub-spoke":
             raise ValueError(f"{v.name} is not a hub-spoke VPN")
-        site_id = next(self._site_ids)
+        site_id = self._alloc_site_id()
         site_prefix = self._pick_prefix(v, prefix)
 
         ce = CeRouter(self.net.sim, self._node_name(f"ce-{v.name}-hub{site_id}"),

@@ -1,0 +1,354 @@
+"""Converged-state snapshots: format, fail-fast header, restore parity.
+
+The two contracts under test:
+
+* **Format**: a snapshot is magic + versioned JSON header + pickle; any
+  mismatch of magic, schema, or repro version fails fast with a clear
+  :class:`~repro.sim.snapshot.SnapshotError` before the payload is
+  touched.
+* **Parity**: a seeded run that passes through snapshot→restore is
+  bit-identical to the uninterrupted run — both the warm-start shape
+  (snapshot the converged build, restore, then run) and the true resume
+  shape (snapshot *mid-run*, with packets in flight and events pending,
+  and run the rest from the image).
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Callable
+
+import pytest
+
+import repro
+from repro.obs import runtime
+from repro.obs.flightrec import FlightRecorder
+from repro.sim.engine import Simulator, _BOUND_CODE, bind
+from repro.sim.randomness import RandomStreams
+from repro.sim.snapshot import (
+    MAGIC,
+    SCHEMA,
+    SnapshotError,
+    load,
+    pending_schedule,
+    read_header,
+    restore_network,
+    save,
+    snapshot_network,
+    verify_cache_coherence,
+)
+from repro.topology import Network
+
+
+# ----------------------------------------------------------------------
+# Format + header
+
+
+def _small_net() -> Network:
+    net = Network(seed=5)
+    net.add_router("a")
+    net.add_router("b")
+    net.connect("a", "b", 10e6, 1e-3)
+    return net
+
+
+def test_roundtrip_small_topology() -> None:
+    net = _small_net()
+    blob = snapshot_network(net, {"note": "hi"})
+    net2, extras = restore_network(blob)
+    assert sorted(net2.nodes) == sorted(net.nodes)
+    assert extras == {"note": "hi"}
+    assert net2.topology_generation == net.topology_generation
+    assert net2.sim.now == net.sim.now
+    # The restored graph is internally consistent: extras/nodes reference
+    # the same objects, not parallel copies.
+    assert net2.duplex_links[0].a is net2.nodes["a"]
+
+
+def test_header_fields(tmp_path) -> None:
+    net = _small_net()
+    path = str(tmp_path / "n.snap")
+    size = save(path, net)
+    assert size > len(MAGIC)
+    header = read_header(path)
+    assert header["schema"] == SCHEMA
+    assert header["repro_version"] == repro.__version__
+    assert "python" in header and "pickle_protocol" in header
+
+
+def _tamper_header(blob: bytes, **overrides: Any) -> bytes:
+    """Rewrite the snapshot's JSON header, keeping payload intact."""
+    off = len(MAGIC)
+    (hlen,) = struct.unpack_from("<I", blob, off)
+    start = off + 4
+    header = json.loads(blob[start : start + hlen].decode())
+    header.update(overrides)
+    new = json.dumps(header, sort_keys=True).encode()
+    return MAGIC + struct.pack("<I", len(new)) + new + blob[start + hlen :]
+
+
+def test_bad_magic_fails_fast() -> None:
+    with pytest.raises(SnapshotError, match="bad magic"):
+        restore_network(b"not a snapshot at all")
+
+
+def test_schema_mismatch_fails_fast() -> None:
+    blob = snapshot_network(_small_net())
+    bad = _tamper_header(blob, schema="repro.snapshot/99")
+    with pytest.raises(SnapshotError, match="schema"):
+        restore_network(bad)
+
+
+def test_version_mismatch_fails_fast() -> None:
+    blob = snapshot_network(_small_net())
+    bad = _tamper_header(blob, repro_version="0.0.1")
+    with pytest.raises(SnapshotError, match="repro '?0.0.1'?"):
+        restore_network(bad)
+
+
+def test_python_mismatch_fails_fast() -> None:
+    blob = snapshot_network(_small_net())
+    bad = _tamper_header(blob, python="2.7")
+    with pytest.raises(SnapshotError, match="Python"):
+        restore_network(bad)
+
+
+def test_truncated_blob_fails_fast() -> None:
+    blob = snapshot_network(_small_net())
+    with pytest.raises(SnapshotError):
+        restore_network(blob[: len(MAGIC) + 2])
+
+
+def test_generator_in_graph_rejected() -> None:
+    net = _small_net()
+    net.nodes["a"].oops = (i for i in range(3))  # type: ignore[attr-defined]
+    with pytest.raises(SnapshotError, match="generator"):
+        snapshot_network(net)
+
+
+def test_attached_telemetry_rejected() -> None:
+    runtime.reset()
+    runtime.enable(profile=False)
+    try:
+        net = _small_net()
+        assert net.telemetry is not None
+        with pytest.raises(SnapshotError, match="telemetry"):
+            snapshot_network(net)
+    finally:
+        runtime.reset()
+
+
+def test_restore_reattaches_telemetry_when_enabled() -> None:
+    blob = snapshot_network(_small_net())
+    runtime.reset()
+    runtime.enable(profile=False)
+    try:
+        net, _ = restore_network(blob)
+        assert net.telemetry is not None
+        assert net.trace.flight is net.telemetry.flight
+    finally:
+        runtime.reset()
+
+
+# ----------------------------------------------------------------------
+# RNG stream state
+
+
+def test_rng_get_set_state_roundtrip() -> None:
+    rs = RandomStreams(seed=9)
+    g = rs.stream("x")
+    g.random(10)
+    state = rs.get_state()
+    ahead = g.random(5).tolist()
+    rs2 = RandomStreams(seed=0)
+    rs2.set_state(state)
+    assert rs2.seed == 9
+    assert rs2.stream("x").random(5).tolist() == ahead
+    # ...and an untouched stream keeps deriving from the restored seed.
+    assert rs2.stream("y").random() == RandomStreams(seed=9).stream("y").random()
+
+
+def test_rng_reseed_only_before_first_draw() -> None:
+    rs = RandomStreams(seed=1)
+    rs.reseed(7)
+    assert rs.seed == 7
+    rs.stream("a")
+    with pytest.raises(RuntimeError, match="reseed"):
+        rs.reseed(8)
+
+
+# ----------------------------------------------------------------------
+# bind() closures survive with profiler-recognisable identity
+
+
+def test_bind_closure_survives_snapshot() -> None:
+    net = _small_net()
+    hits: list[int] = []  # local list → the callback must be rebuilt
+
+    net.sim.schedule(1.0, bind(hits.append, 1))
+    blob = snapshot_network(net)
+    net2, _ = restore_network(blob)
+    (t, desc, _args), = pending_schedule(net2.sim)
+    assert t == 1.0
+    bucket = net2.sim._buckets[1.0]
+    assert bucket.callback.__code__ is _BOUND_CODE
+    net2.sim.run(until=2.0)
+
+
+def test_pending_schedule_lists_live_events_in_order() -> None:
+    sim = Simulator()
+    sim.schedule(2.0, bind(print, "late"))
+    sim.schedule(1.0, bind(print, "early"))
+    doomed = sim.schedule(1.5, bind(print, "never"))
+    doomed.cancel()
+    times = [t for t, _d, _a in pending_schedule(sim)]
+    assert times == [1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# Parity: warm-start shape (snapshot the converged build, then run)
+
+
+def _trace(run_fn: Callable[[], object]) -> list[tuple]:
+    """Run under a big flight recorder; normalized per-hop event tuples.
+
+    Same first-appearance uid normalization as tests/test_engine_parity —
+    packet uids come from a process-global counter, so absolute values
+    differ between runs while the structure must not.
+    """
+    runtime.reset()
+    runtime.enable(flight_capacity=1 << 20, profile=False)
+    try:
+        run_fn()
+        records = []
+        for session in runtime.sessions():
+            records.extend(session.flight._ring)
+    finally:
+        runtime.reset()
+    ids: dict[int, int] = {}
+    out = []
+    for r in records:
+        u = ids.setdefault(r.uid, len(ids))
+        out.append((
+            r.time, r.node, r.event, u, r.flow, r.seq, r.ifname,
+            r.labels, r.in_label, r.out_label, r.reason, r.backlog,
+        ))
+    return out
+
+
+def test_e2_restored_run_trace_bit_identical() -> None:
+    from repro.experiments.e2_qos import _build, run_config
+
+    net, src, dst = _build("mpls-diffserv", seed=0)
+    blob = snapshot_network(net, {"src": src.name, "dst": dst.name})
+    before = verify_cache_coherence(net)
+
+    def cold() -> None:
+        run_config("mpls-diffserv", seed=77, measure_s=1.5)
+
+    def warm() -> None:
+        net2, extras = restore_network(blob)
+        assert verify_cache_coherence(net2) == before
+        run_config(
+            "mpls-diffserv", seed=77, measure_s=1.5,
+            prebuilt=(net2, net2.nodes[extras["src"]], net2.nodes[extras["dst"]]),
+        )
+
+    a, b = _trace(cold), _trace(warm)
+    assert len(a) > 1000
+    assert a == b
+
+
+def test_e5_restored_run_trace_bit_identical() -> None:
+    from repro.experiments.e5_sla import _build, run_stage
+
+    ctx = _build("full", seed=0)
+    net = ctx.pop("net")
+    blob = snapshot_network(net, ctx)
+
+    def cold() -> None:
+        run_stage("full", seed=93, measure_s=1.5)
+
+    def warm() -> None:
+        net2, extras = restore_network(blob)
+        run_stage("full", seed=93, measure_s=1.5,
+                  prebuilt={"net": net2, **extras})
+
+    a, b = _trace(cold), _trace(warm)
+    assert len(a) > 1000
+    assert a == b
+
+
+# ----------------------------------------------------------------------
+# Parity: true resume (snapshot mid-run, packets in flight, finish from
+# the image) — the tentpole's bit-identical resumed-trace contract.
+
+
+def _armed_e2(seed: int) -> Network:
+    """Converged e2 backbone with sources + a manual flight recorder."""
+    from repro.experiments.common import ExperimentRun
+    from repro.experiments.e2_qos import _build
+    from repro.qos.dscp import DSCP
+    from repro.traffic.generators import OnOffSource, voice_source
+
+    net, src, dst = _build("mpls-diffserv", seed)
+    net.trace.flight = FlightRecorder(capacity=1 << 20)
+    run = ExperimentRun(net, warmup_s=0.2, measure_s=1.4)
+    run.sink_at(dst)
+    run.add_source(
+        voice_source(net.sim, src.send, "voice", "10.50.0.1", "10.50.0.2")
+    )
+    run.add_source(
+        OnOffSource(
+            net.sim, src.send, "data", "10.50.0.1", "10.50.0.2",
+            payload_bytes=700, dscp=int(DSCP.AF11), proto="tcp",
+            peak_bps=4e6, mean_on_s=0.2, mean_off_s=0.3,
+            rng=net.streams.stream("e2.data"),
+        )
+    )
+    return net
+
+
+def _normalized(rec: FlightRecorder) -> list[tuple]:
+    ids: dict[int, int] = {}
+    return [
+        (r.time, r.node, r.event, ids.setdefault(r.uid, len(ids)), r.flow,
+         r.seq, r.ifname, r.labels, r.in_label, r.out_label, r.reason,
+         r.backlog)
+        for r in rec._ring
+    ]
+
+
+def test_mid_run_snapshot_resumes_bit_identically() -> None:
+    # Uninterrupted reference run.
+    net_a = _armed_e2(seed=31)
+    net_a.run(until=2.0)
+    ref = _normalized(net_a.trace.flight)
+    assert len(ref) > 1000
+
+    # Identical twin, paused mid-measurement with traffic in flight...
+    net_b = _armed_e2(seed=31)
+    net_b.run(until=0.9)
+    assert net_b.sim.pending > 0  # there really is a schedule to carry
+    blob = snapshot_network(net_b)
+
+    # ...finished from the image (flight recorder rides in the snapshot,
+    # so the restored run's ring holds the whole [0, 2] history).
+    net_c, _ = restore_network(blob)
+    assert pending_schedule(net_c.sim) == pending_schedule(net_b.sim)
+    net_c.run(until=2.0)
+    assert _normalized(net_c.trace.flight) == ref
+
+
+def test_save_load_file_roundtrip(tmp_path) -> None:
+    from repro.experiments.e5_sla import _build
+
+    ctx = _build("full", seed=3)
+    net = ctx.pop("net")
+    path = str(tmp_path / "e5.snap")
+    save(path, net, ctx)
+    net2, extras = load(path)
+    assert set(extras) == set(ctx)
+    assert extras["s1"].hosts[0] is net2.nodes[extras["s1"].hosts[0].name]
+    assert verify_cache_coherence(net2) == verify_cache_coherence(net)

@@ -112,6 +112,63 @@ def test_spill_files_are_written_and_kept(tmp_path) -> None:
     assert all(r["ok"] for r in lines)
 
 
+def test_warm_start_rows_byte_identical_inline() -> None:
+    """Warm start restores the same restore code on the 1-worker inline
+    path as in pool workers; rows must equal the cold sweep exactly."""
+    import json
+
+    tasks = _small_grid()
+    cold = run_sweep(tasks, workers=1)
+    warm = run_sweep(tasks, workers=1, warm_start=True)
+    assert warm["ok"] == len(tasks)
+    assert json.dumps(deterministic_view(cold), sort_keys=True) == \
+        json.dumps(deterministic_view(warm), sort_keys=True)
+    # Every supported task really took the restore path, and the parent
+    # reports what it snapshotted.
+    assert all(t["warm"] for t in warm["timing"]["per_task"])
+    info = warm["timing"]["warm_start"]
+    assert info["bases"] and info["bytes"] > 0
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork start method")
+def test_warm_start_rows_byte_identical_across_workers() -> None:
+    """Cold vs warm at 4 workers, and warm 1-worker vs warm 4-worker —
+    all the same deterministic view (the acceptance-criteria invariant)."""
+    import json
+
+    tasks = _small_grid()
+    view = lambda r: json.dumps(deterministic_view(r), sort_keys=True)  # noqa: E731
+    cold = run_sweep(tasks, workers=4)
+    warm4 = run_sweep(tasks, workers=4, warm_start=True)
+    warm1 = run_sweep(tasks, workers=1, warm_start=True)
+    assert view(cold) == view(warm4) == view(warm1)
+    assert not warm4["failed"]
+
+
+def test_warm_start_base_keys() -> None:
+    """Base keys capture exactly what a task's build does not vary with."""
+    from repro.sweep.runner import base_key
+
+    e1, e2, e5, _ = _small_grid()
+    assert base_key(e1) == "e1/mpls/10"
+    assert base_key(e2) == "e2/mpls-diffserv"
+    assert base_key(e5) == "e5/full"
+    assert base_key({"scenario": "nope", "params": {}}) is None
+
+
+def test_warm_start_missing_base_falls_back_cold() -> None:
+    """A task whose base was never prepared runs the cold build path
+    under warm-start rather than failing; ``warm`` says which happened."""
+    from repro.sweep.runner import _BASES, _run_task
+
+    task = dict(_small_grid()[1], warm_start=True)  # e2, no base prepared
+    _BASES.clear()
+    res = _run_task(task)
+    assert res["ok"]
+    assert res["warm"] is False
+    assert res["rows"]
+
+
 def test_merge_synthesizes_failure_for_missing_and_torn_results(tmp_path) -> None:
     """A worker that dies mid-spill costs its task, not the sweep: a
     truncated (no-newline) line and an absent line both come back as
