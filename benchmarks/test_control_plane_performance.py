@@ -43,6 +43,8 @@ BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_control_plane.json"
 # The speedup floors the optimization must clear on the 12-node backbone.
 MIN_CONVERGE_SPEEDUP = 3.0
 MIN_RECONVERGE_SPEEDUP = 5.0
+# Single-site churn at N=500: delta distribution vs monolithic converge.
+MIN_CHURN_SPEEDUP = 5.0
 
 # On shared CI runners a GC pause or a noisy neighbour inside either
 # timing window can sink the ratio no matter how the rounds are arranged.
@@ -169,6 +171,83 @@ def test_single_link_reconverge_speedup():
         f"{MIN_RECONVERGE_SPEEDUP}x "
         f"(new {t_new * 1e3:.3f} ms vs reference {t_ref * 1e3:.3f} ms)"
     ))
+
+
+def test_single_site_churn_speedup():
+    """One site flaps at N=500: the delta path touches that site's NLRI
+    while the frozen engine can only repair state with a full converge."""
+    from repro.experiments.e1_scalability import mpls_base
+    from repro.vpn.reference import MpBgpReference
+
+    n_sites = 500
+    new_ctx = mpls_base(n_sites)
+    ref_ctx = mpls_base(n_sites)
+    engine = new_ctx["prov"].bgp_engine()
+    pe = new_ctx["nodes"]["E1"]
+    vrf = pe.vrfs["corp"]
+    site_id = next(
+        r.origin_site
+        for r in vrf.local_routes().values()
+        if r.origin_site is not None
+    )
+    ref_engine = MpBgpReference(ref_ctx["net"], ref_ctx["prov"].pes())
+
+    # State-neutral rounds: the withdraw retracts the site's NLRI from
+    # every importing VRF, the export_delta re-advertises it from the
+    # still-intact locals.  The reference's only repair tool for the same
+    # event is its monolithic full converge.
+    def churn_new():
+        engine.withdraw(pe, vrf="corp", site=site_id)
+        engine.export_delta(pe, vrf)
+
+    def churn_ref():
+        ref_engine.converge()
+
+    t_new, t_ref = _best_of_pair(churn_new, churn_ref, rounds=5)
+    speedup = t_ref / t_new
+    _record("bgp_single_site_churn", {
+        "sites": n_sites,
+        "new_s": t_new,
+        "reference_s": t_ref,
+        "speedup": speedup,
+        "min_required": MIN_CHURN_SPEEDUP,
+    })
+    _require_floor(speedup, MIN_CHURN_SPEEDUP, (
+        f"single-site churn speedup {speedup:.2f}x < {MIN_CHURN_SPEEDUP}x "
+        f"(new {t_new * 1e3:.3f} ms vs reference {t_ref * 1e3:.3f} ms)"
+    ))
+
+
+def test_churn_storm_suite():
+    """The E15 storm sequence at paper scale — per-storm wall time and
+    exact UPDATE counts recorded for trend tracking.  No speedup floor:
+    absolute storm latency is box-dependent, so the JSON carries
+    ``floor_enforced: false`` and bench_trend treats it as data-only."""
+    from repro.experiments.e1_scalability import mpls_base
+    from repro.experiments.e15_churn import churn_storms
+
+    n_sites = 500
+    ctx = mpls_base(n_sites)
+    t0 = perf_counter()
+    rows = churn_storms(ctx, site_flaps=10, wave_sites=8, link_flaps=2)
+    total_s = perf_counter() - t0
+
+    by_storm = {r["storm"]: r for r in rows}
+    assert set(by_storm) == {"site-flap", "pe-drain", "vpn-wave", "link-flap"}
+    # The delta path's whole point: a 10-flap storm withdraws ~10 NLRI
+    # instead of re-distributing the full ~2N-route table per event.
+    assert by_storm["site-flap"]["withdrawn"] >= 10
+    assert by_storm["site-flap"]["updates"] > 0
+    # Link flaps ride the IGP fast path; next hops are loopbacks, so BGP
+    # stays silent — that silence is the paper's stability argument.
+    assert by_storm["link-flap"]["updates"] == 0
+    assert by_storm["link-flap"]["spf_installs"] > 0
+    _record("bgp_churn_storms", {
+        "sites": n_sites,
+        "total_s": total_s,
+        "floor_enforced": False,
+        "rows": rows,
+    })
 
 
 def test_e1_paper_scale():

@@ -133,6 +133,15 @@ def _run_e14(args: argparse.Namespace) -> list[dict[str, Any]]:
     return rows
 
 
+def _run_e15(args: argparse.Namespace) -> list[dict[str, Any]]:
+    from repro.experiments.e15_churn import run_e15
+    if getattr(args, "smoke", False):
+        rows, _ = run_e15(n_sites=48, site_flaps=4, wave_sites=4, link_flaps=1)
+    else:
+        rows, _ = run_e15(n_sites=500)
+    return rows
+
+
 def _run_eh(args: argparse.Namespace) -> list[dict[str, Any]]:
     from repro.experiments.hybrid import run_hybrid_demo
     n_flows = 2_000 if getattr(args, "smoke", False) else 10_000
@@ -155,6 +164,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], list[dict[str, 
     "e12": ("elastic (TCP-like) traffic: AQM + class protection", _run_e12),
     "e13": ("per-VPN service tiers: gold/silver/bronze (§2.2)", _run_e13),
     "e14": ("IntServ per-flow vs DiffServ aggregation cost (§2.2)", _run_e14),
+    "e15": ("churn storms: incremental MP-BGP vs site/PE/VPN/link flaps", _run_e15),
     "eh": ("hybrid fluid/packet plane: pure vs hybrid at scale", _run_eh),
 }
 
@@ -196,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "multiprocessing workers with deterministic per-task "
                     "seeding; merge one JSON report.",
     )
-    sweep.add_argument("--grid", choices=["e1", "e2", "e5", "all"],
+    sweep.add_argument("--grid", choices=["e1", "e2", "e5", "e15", "all"],
                        default="e2", help="which grid to run (default e2)")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (1 = inline, default)")

@@ -275,16 +275,18 @@ class ForwardingPipeline:
           transposed into :class:`~repro.dataplane.columns.PacketColumns`
           and forwarding decisions are resolved per *unique* key with
           vectorized gathers/masks, materializing back onto the packets
-          in one in-order apply pass.  Taken when no per-packet observer
-          is attached (no flight recorder, no drop subscriber — those
-          need the per-row record interleave) and the burst is big enough
-          to amortize the ndarray setup (``COLUMNAR_MIN``).  Capacity-
-          bounded caches are fine here: they evict at per-burst epoch
-          boundaries (:meth:`GenCache.sync`), never on insert, so no
-          fill can invalidate another group's pre-gathered entry
-          mid-burst.
+          in one in-order apply pass.  Taken whenever the burst is big
+          enough to amortize the ndarray setup (``COLUMNAR_MIN``).  With
+          a flight recorder or drop subscriber attached, the apply pass
+          emits per-row records and sends per packet, so the observable
+          interleave stays bit-identical to the scalar sequence; the
+          uniform whole-burst shortcuts and egress run coalescing engage
+          only when untraced.  Capacity-bounded caches are fine here:
+          they evict at per-burst epoch boundaries (:meth:`GenCache.sync`),
+          never on insert, so no fill can invalidate another group's
+          pre-gathered entry mid-burst.
         * The hoisted per-row loop (:meth:`_ingress_batch_loop`)
-          otherwise — the traced/small-burst tier, and the reference the
+          otherwise — the small-burst tier, and the reference the
           columnar path is tested against.
         """
         node = self.node
@@ -294,12 +296,7 @@ class ForwardingPipeline:
             for pkt, ifname in items:
                 receive(pkt, ifname)
             return
-        trace = node.trace
-        if (
-            len(items) >= COLUMNAR_MIN
-            and trace.flight is None
-            and not trace.active("drop")
-        ):
+        if len(items) >= COLUMNAR_MIN:
             self._ingress_columns(items)
             return
         self._ingress_batch_loop(items)
@@ -646,7 +643,14 @@ class ForwardingPipeline:
         n = len(items)
         stats.rx_packets += n
         cols = PacketColumns(items)
-        fa = node.trace.flows
+        trace = node.trace
+        fa = trace.flows
+        fl = trace.flight
+        # Per-packet observers force the per-row record interleave: no
+        # uniform whole-burst shortcuts, per-packet sends instead of run
+        # coalescing.  The resolve phases (1-4) are unaffected — lookups
+        # and counter arithmetic are not observable events.
+        vec_tx = fl is None and not trace.active("drop")
         addresses = node.addresses
         lfib = self.lfib
         act = np.zeros(n, dtype=np.int64)
@@ -890,23 +894,24 @@ class ForwardingPipeline:
                 kind, payload = self._resolve_dst_group(
                     probed[0], ukeys[0], items[0][0].ip.dst, n
                 )
-                if kind == _A_IP:
-                    iface = interfaces.get(payload)
-                    if iface is not None and iface.link is not None:
-                        self._apply_uniform_ip(items, cols, iface)
+                if vec_tx:
+                    if kind == _A_IP:
+                        iface = interfaces.get(payload)
+                        if iface is not None and iface.link is not None:
+                            self._apply_uniform_ip(items, cols, iface)
+                            return
+                    elif kind == _A_IMPOSE:
+                        iface = interfaces.get(payload[1])
+                        if iface is not None and iface.link is not None:
+                            self._apply_uniform_impose(
+                                items, cols, payload[0], iface
+                            )
+                            return
+                    elif kind == _A_DROPW:
+                        self._apply_uniform_noroute(items, cols)
                         return
-                elif kind == _A_IMPOSE:
-                    iface = interfaces.get(payload[1])
-                    if iface is not None and iface.link is not None:
-                        self._apply_uniform_impose(
-                            items, cols, payload[0], iface
-                        )
-                        return
-                elif kind == _A_DROPW:
-                    self._apply_uniform_noroute(items, cols)
-                    return
-                # ECMP (per-row hash spray) or a missing egress
-                # interface: whole-burst action, generic apply.
+                # ECMP (per-row hash spray), a missing egress interface,
+                # or a traced burst: whole-burst action, generic apply.
                 act[:] = kind
                 didx[:] = 1
                 dec_append(payload)
@@ -922,12 +927,14 @@ class ForwardingPipeline:
                     didx[rows] = len(decisions)
                     dec_append(payload)
         elif uni_swap is not None:
-            iface = interfaces.get(uni_swap.out_ifname)
-            if iface is not None and iface.link is not None:
-                self._apply_uniform_swap(items, cols, uni_swap, iface)
-                return
-            # Missing egress: the deferred uniform-SWAP writes become
-            # real, so the generic loop drops each row with NO_IFACE.
+            if vec_tx:
+                iface = interfaces.get(uni_swap.out_ifname)
+                if iface is not None and iface.link is not None:
+                    self._apply_uniform_swap(items, cols, uni_swap, iface)
+                    return
+            # Missing egress (the generic loop drops each row with
+            # NO_IFACE) or a traced burst: the deferred uniform-SWAP
+            # writes become real.
             act[:] = _A_SWAP
             didx[:] = uni_didx
         else:
@@ -965,6 +972,7 @@ class ForwardingPipeline:
         deliver_local = node.deliver_local
         transmit = node.transmit
         name = node.name
+        now = self.sim.now
         impose_exp = node.impose_exp if lfib is not None else None
         lut = exp_lut()
         run_name: str | None = None
@@ -977,6 +985,13 @@ class ForwardingPipeline:
             iface = interfaces.get(out)
             if iface is None or iface.link is None:
                 drop(pkt, DropReason.NO_IFACE)
+                return
+            if not vec_tx:
+                # Traced: per-packet send keeps the record interleave
+                # bit-identical to the scalar sequence (run_name stays
+                # None, so every row lands here).
+                stats.forwarded += 1
+                iface.send(pkt)
                 return
             if run_name is not None:
                 stats.forwarded += len(run_pkts)
@@ -994,11 +1009,16 @@ class ForwardingPipeline:
                 run_name = run_iface = run_pkts = run_wire = None
 
         i = 0
-        for pkt, _ifname in items:
+        for pkt, ifname in items:
             pkt.hops += 1
+            if fl is not None:
+                fl.rx(now, name, pkt, ifname)
             a = act_l[i]
             if a == _A_IP:
                 if popp is not None and popp[i]:
+                    if fl is not None:
+                        fl.label_op(now, name, pkt, "pop",
+                                    old=pkt.mpls_stack[-1].label)
                     pkt.mpls_stack.pop()
                     w = wire_l[i] - 4
                     wire_l[i] = w
@@ -1015,6 +1035,9 @@ class ForwardingPipeline:
             elif a == _A_SWAP:
                 entry = decisions[didx_l[i]]
                 top = pkt.mpls_stack[-1]
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "swap",
+                                old=top.label, new=entry.out_label)
                 top.ttl = ttl_l[i]
                 top.label = entry.out_label
                 out = entry.out_ifname
@@ -1025,6 +1048,9 @@ class ForwardingPipeline:
                     tx_cold(pkt, out, wire_l[i])
             elif a == _A_IMPOSE:
                 if popp is not None and popp[i]:
+                    if fl is not None:
+                        fl.label_op(now, name, pkt, "pop",
+                                    old=pkt.mpls_stack[-1].label)
                     pkt.mpls_stack.pop()
                     wire_l[i] -= 4
                 d = decisions[didx_l[i]]
@@ -1037,6 +1063,8 @@ class ForwardingPipeline:
                     e = lut[dv] if 0 <= dv < 64 else dscp_to_exp(dv)
                 stack = pkt.mpls_stack
                 for lbl in labels:
+                    if fl is not None:
+                        fl.label_op(now, name, pkt, "push", new=lbl)
                     m = _NEW_MPLS(MplsEntry)
                     m.label = lbl
                     m.exp = e
@@ -1053,6 +1081,9 @@ class ForwardingPipeline:
                     tx_cold(pkt, out, w)
             elif a == _A_ECMP:
                 if popp is not None and popp[i]:
+                    if fl is not None:
+                        fl.label_op(now, name, pkt, "pop",
+                                    old=pkt.mpls_stack[-1].label)
                     pkt.mpls_stack.pop()
                     w = wire_l[i] - 4
                     wire_l[i] = w
@@ -1072,6 +1103,8 @@ class ForwardingPipeline:
                     tx_cold(pkt, out, w)
             elif a == _A_POP:
                 stack = pkt.mpls_stack
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "pop", old=stack[-1].label)
                 stack.pop()
                 t = ttl_l[i]
                 if stack:
@@ -1091,11 +1124,17 @@ class ForwardingPipeline:
                 flush_run()  # sinks may inject traffic
                 deliver_local(pkt)
             elif a == _A_POPP_LOCAL:
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "pop",
+                                old=pkt.mpls_stack[-1].label)
                 pkt.pop_label()
                 flush_run()
                 deliver_local(pkt)
             elif a == _A_VPN:
                 vrf = decisions[didx_l[i]]
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "pop",
+                                old=pkt.mpls_stack[-1].label)
                 pkt.pop_label()
                 if vrf is None:
                     drop(pkt, DropReason.UNKNOWN_VRF)
@@ -1126,6 +1165,12 @@ class ForwardingPipeline:
             elif a == _A_DROPW:
                 t = ttl_l[i]
                 if popp is not None and popp[i]:
+                    # Scalar emits the pop record before the TTL/route
+                    # verdict on POP_PROCESS rows, so a traced drop still
+                    # carries it.
+                    if fl is not None:
+                        fl.label_op(now, name, pkt, "pop",
+                                    old=pkt.mpls_stack[-1].label)
                     pkt.mpls_stack.pop()
                     pkt.ip.ttl = t
                     pkt._wire = None
@@ -1307,27 +1352,38 @@ class ForwardingPipeline:
 
         Entered with the top entry already resolved *and counted* by the
         group gather; everything from the op dispatch on is exactly
-        :meth:`mpls_stage` (no flight-recorder guards — the columnar path
-        only runs with the recorder detached).  Handles whatever op chain
-        the inner labels produce, including SWAP/POP under a multi-level
-        ``POP_PROCESS``, and ends in the scalar :meth:`ip_stage` whose
-        per-row cache probe is identical to what the scalar loop does.
+        :meth:`mpls_stage`, flight records included.  Handles whatever op
+        chain the inner labels produce, including SWAP/POP under a
+        multi-level ``POP_PROCESS``, and ends in the scalar
+        :meth:`ip_stage` whose per-row cache probe is identical to what
+        the scalar loop does.
         """
         node = self.node
         lfib = self.lfib
         cache = self.label_cache
+        fl = node.trace.flight
+        now = self.sim.now
+        name = node.name
         while True:
             op = entry.op
+            label = pkt.mpls_stack[-1].label
             if op is LabelOp.SWAP_PUSH:
                 if pkt.decrement_ttl() <= 0:
                     node.drop(pkt, DropReason.TTL)
                     return
                 exp = pkt.mpls_stack[-1].exp
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "swap",
+                                old=label, new=entry.out_label)
+                    fl.label_op(now, name, pkt, "push",
+                                new=entry.push_label)
                 pkt.swap_label(entry.out_label)
                 pkt.push_label(entry.push_label, exp=exp)
                 node.transmit(pkt, entry.out_ifname)
                 return
             if op is LabelOp.POP_PROCESS:
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "pop", old=label)
                 pkt.pop_label()
                 if not pkt.mpls_stack:
                     if node.owns(pkt.ip.dst):
@@ -1350,6 +1406,9 @@ class ForwardingPipeline:
                 if pkt.decrement_ttl() <= 0:
                     node.drop(pkt, DropReason.TTL)
                     return
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "swap",
+                                old=label, new=entry.out_label)
                 pkt.swap_label(entry.out_label)
                 node.transmit(pkt, entry.out_ifname)
                 return
@@ -1357,10 +1416,14 @@ class ForwardingPipeline:
                 if pkt.decrement_ttl() <= 0:
                     node.drop(pkt, DropReason.TTL)
                     return
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "pop", old=label)
                 pkt.pop_label()
                 node.transmit(pkt, entry.out_ifname)
                 return
             if op is LabelOp.VPN:
+                if fl is not None:
+                    fl.label_op(now, name, pkt, "pop", old=label)
                 pkt.pop_label()
                 vpn_deliver = node.vpn_deliver
                 if vpn_deliver is None:

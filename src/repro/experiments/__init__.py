@@ -13,6 +13,7 @@ from repro.experiments.e10_interas import run_e10
 from repro.experiments.e11_resilience import run_e11
 from repro.experiments.e12_elastic import run_e12, run_e12a_aqm, run_e12b_voice_vs_elastic
 from repro.experiments.e13_tiers import run_e13
+from repro.experiments.e15_churn import run_e15
 from repro.experiments.hybrid import run_hybrid_demo, run_scale
 from repro.experiments.e14_intserv import run_e14
 from repro.experiments.e9_ablations import (
@@ -29,6 +30,7 @@ __all__ = [
     "mpls_census", "overlay_census",
     "run_e1", "run_e2", "run_e3", "run_e4", "run_e5", "run_e6", "run_e7",
     "run_e8", "run_e9", "run_e10", "run_e11", "run_e12", "run_e13", "run_e14",
+    "run_e15",
     "run_e12a_aqm", "run_e12b_voice_vs_elastic",
     "run_hybrid_demo", "run_scale",
     "run_e9a_schedulers", "run_e9b_aqm",

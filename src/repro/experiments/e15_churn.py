@@ -1,0 +1,181 @@
+"""E15 — churn storms: incremental MP-BGP under operational stress.
+
+The paper's scalability claims (C1/C5/C7) are steady-state counts; this
+experiment stresses the *transition* costs an operator actually lives
+with: sites joining and leaving, PEs drained for maintenance, whole VPNs
+provisioned and torn down, core links flapping.  Each storm is a scripted
+event sequence (in the style of ``jdewald__router-sim/rsvpfulltest.py``)
+run end-to-end through provisioning, the incremental MP-BGP churn engine
+(:mod:`repro.vpn.bgp`), and the incremental IGP fast path — measuring
+per-storm reconvergence wall time and exact UPDATE message counts.
+
+Storms
+------
+* **site-flap**  — k single-site remove/re-add flaps against an N-site
+  VPN; the delta path touches 2 NLRI per event instead of re-distributing
+  all ~2N.
+* **pe-drain**   — maintenance drain + restore of the busiest PE:
+  implicit withdraws, import flush, full re-advertise + refresh.
+* **vpn-wave**   — provision a new VPN across the edge, converge the
+  delta, then tear the whole VPN down again.
+* **link-flap**  — fail and restore a core (P–P) trunk, driving the
+  incremental IGP ``reconverge()``; BGP state is untouched (next hops
+  are loopbacks), which is itself the point.
+
+A final topology table prices one UPDATE under full-mesh, single-RR, and
+RR-cluster session layouts on the same PE set (sessions, per-route
+fan-out, cluster-list suppressions) without re-provisioning anything.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any
+
+from repro.experiments.e1_scalability import mpls_base
+from repro.routing.spf import reconverge
+from repro.vpn.bgp import MpBgp
+
+__all__ = ["run_e15", "churn_storms"]
+
+
+def _bgp_counters(net) -> dict[str, int]:
+    return {
+        k: v for k, v in net.counters.snapshot().items() if k.startswith("bgp.")
+    }
+
+
+def _delta(before: dict[str, int], after: dict[str, int], key: str) -> int:
+    return after.get(key, 0) - before.get(key, 0)
+
+
+def churn_storms(
+    ctx: dict[str, Any],
+    site_flaps: int = 10,
+    wave_sites: int = 8,
+    link_flaps: int = 2,
+) -> list[dict[str, Any]]:
+    """Run the scripted storm sequence against a converged mpls_base ctx."""
+    net, nodes, prov = ctx["net"], ctx["nodes"], ctx["prov"]
+    vpn = prov.vpns["corp"]
+    rows: list[dict[str, Any]] = []
+
+    def record(storm: str, events: int, wall_s: float, before, after) -> None:
+        rows.append(
+            {
+                "storm": storm,
+                "events": events,
+                "wall_ms": round(wall_s * 1e3, 3),
+                "updates": _delta(before, after, "bgp.updates"),
+                "imported": _delta(before, after, "bgp.routes_imported"),
+                "removed": _delta(before, after, "bgp.routes_removed"),
+                "withdrawn": _delta(before, after, "bgp.routes_withdrawn"),
+            }
+        )
+
+    # --- storm 1: single-site flaps -----------------------------------
+    before = _bgp_counters(net)
+    t0 = perf_counter()
+    for i in range(site_flaps):
+        site = vpn.sites[-1 - i]
+        pe = site.pe
+        prov.remove_site(site)
+        fresh = prov.add_site(vpn, pe, prefix=site.prefix, num_hosts=0)
+        prov.bgp_engine().export_delta(pe, pe.vrfs[vpn.name])
+        assert fresh.pe is pe
+    record("site-flap", 2 * site_flaps, perf_counter() - t0,
+           before, _bgp_counters(net))
+
+    # --- storm 2: PE maintenance drain --------------------------------
+    victim = prov.pes()[0]
+    before = _bgp_counters(net)
+    t0 = perf_counter()
+    prov.drain_pe(victim)
+    prov.restore_pe(victim)
+    record("pe-drain", 2, perf_counter() - t0, before, _bgp_counters(net))
+
+    # --- storm 3: VPN add/remove wave ---------------------------------
+    before = _bgp_counters(net)
+    t0 = perf_counter()
+    wave = prov.create_vpn("wave", supernet="172.16.0.0/12")
+    pes = prov.pes()
+    for i in range(wave_sites):
+        prov.add_site(wave, pes[i % len(pes)], num_hosts=0)
+    prov.converge_bgp()
+    prov.remove_vpn("wave")
+    record("vpn-wave", 2 * wave_sites, perf_counter() - t0,
+           before, _bgp_counters(net))
+
+    # --- storm 4: core link flaps (IGP fast path) ---------------------
+    before = _bgp_counters(net)
+    t0 = perf_counter()
+    spf_events = 0
+    for _ in range(link_flaps):
+        link = net.link_between("P1", "P2")
+        link.set_up(False)
+        spf_events += reconverge(net)
+        link.set_up(True)
+        spf_events += reconverge(net)
+    row_before = len(rows)
+    record("link-flap", 2 * link_flaps, perf_counter() - t0,
+           before, _bgp_counters(net))
+    rows[row_before]["spf_installs"] = spf_events
+    return rows
+
+
+def topology_table(prov) -> list[dict[str, Any]]:
+    """Price one UPDATE under the candidate session layouts (same PEs)."""
+    pes = prov.pes()
+    names = [pe.name for pe in pes]
+    layouts: list[tuple[str, dict[str, Any]]] = [("full-mesh", {})]
+    if len(names) >= 2:
+        layouts.append(("route-reflector", {"route_reflector": names[0]}))
+    if len(names) >= 4:
+        layouts.append(
+            ("rr-cluster-2", {"rr_clusters": [names[0], names[1]]})
+        )
+        layouts.append(
+            ("rr-redundant", {"rr_clusters": [(names[0], names[1])]})
+        )
+    rows = []
+    for label, kwargs in layouts:
+        engine = MpBgp(prov.net, pes, **kwargs)
+        origin = next(n for n in names if n not in engine.reflectors)
+        sent, suppressed = engine.fanout(origin)
+        rows.append(
+            {
+                "topology": label,
+                "sessions": engine.session_count(),
+                "updates_per_route": sent,
+                "suppressed_per_route": suppressed,
+            }
+        )
+    return rows
+
+
+def run_e15(
+    n_sites: int = 500,
+    seed: int = 23,
+    site_flaps: int = 10,
+    wave_sites: int = 8,
+    link_flaps: int = 2,
+) -> tuple[list[dict[str, Any]], dict[str, Any]]:
+    """Provision N sites, then run the storm suite and the topology table."""
+    t0 = perf_counter()
+    ctx = mpls_base(n_sites, seed=seed)
+    build_s = perf_counter() - t0
+    rows = churn_storms(
+        ctx, site_flaps=site_flaps, wave_sites=wave_sites, link_flaps=link_flaps
+    )
+    topo = topology_table(ctx["prov"])
+    raw: dict[str, Any] = {
+        "ctx": ctx,
+        "build_s": build_s,
+        "n_sites": n_sites,
+        "topology": topo,
+        "counters": _bgp_counters(ctx["net"]),
+    }
+    return rows + [{"storm": f"— topology ({r['topology']}) —",
+                    "events": r["sessions"],
+                    "updates": r["updates_per_route"],
+                    "withdrawn": r["suppressed_per_route"]} for r in topo], raw

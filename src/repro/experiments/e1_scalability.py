@@ -103,10 +103,17 @@ def _mpls_network(seed: int = 13) -> tuple[Network, dict[str, Lsr]]:
     return net, nodes
 
 
-def mpls_base(n_sites: int, seed: int = 13) -> dict[str, Any]:
+def mpls_base(
+    n_sites: int,
+    seed: int = 13,
+    route_reflector: str | None = None,
+    rr_clusters=None,
+) -> dict[str, Any]:
     """The expensive phase of :func:`mpls_census`, split out so the
     warm-start sweep can snapshot it once: provisioned + converged VPN with
-    the LDP/BGP result records.  Returns the ctx dict
+    the LDP/BGP result records.  ``route_reflector``/``rr_clusters`` select
+    the iBGP session topology (default full mesh) — the E15 churn storms
+    reuse this base under each layout.  Returns the ctx dict
     ``mpls_census(prebuilt=...)`` takes."""
     net, nodes = _mpls_network(seed)
     prov = VpnProvisioner(net)
@@ -115,7 +122,7 @@ def mpls_base(n_sites: int, seed: int = 13) -> dict[str, Any]:
         prov.add_site(vpn, nodes[EDGE_ROUTERS[i % len(EDGE_ROUTERS)]], num_hosts=0)  # type: ignore[arg-type]
     converge(net)
     ldp = run_ldp(net)
-    bgp = prov.converge_bgp()
+    bgp = prov.converge_bgp(route_reflector=route_reflector, rr_clusters=rr_clusters)
     return {"net": net, "nodes": nodes, "prov": prov, "ldp": ldp, "bgp": bgp}
 
 

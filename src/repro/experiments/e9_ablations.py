@@ -261,7 +261,21 @@ def run_e9e_ibgp(
     rows: list[dict[str, Any]] = []
     raw: dict[str, Any] = {}
     for n_pes in pe_counts:
-        for rr in (False, True):
+        pes = [f"E{i + 1}" for i in range(n_pes)]
+        topologies: list[tuple[str, dict[str, Any]]] = [
+            ("full-mesh", {}),
+            ("route-reflector", {"route_reflector": pes[0]}),
+        ]
+        if n_pes >= 4:
+            # Two single-RR clusters, and one redundant RR pair sharing a
+            # cluster id (its partner copies are cluster-list suppressed).
+            topologies.append(
+                ("rr-cluster-2", {"rr_clusters": [pes[0], pes[1]]})
+            )
+            topologies.append(
+                ("rr-redundant", {"rr_clusters": [(pes[0], pes[1])]})
+            )
+        for topology, bgp_kwargs in topologies:
             net = Network(seed=seed)
 
             def factory(n: Network, name: str):
@@ -271,18 +285,18 @@ def run_e9e_ibgp(
             nodes = build_backbone(net, node_factory=factory)
             prov = VpnProvisioner(net)
             vpn = prov.create_vpn("corp")
-            pes = [f"E{i + 1}" for i in range(n_pes)]
             for i in range(n_pes * sites_per_pe):
                 prov.add_site(vpn, nodes[pes[i % n_pes]], num_hosts=0)  # type: ignore[arg-type]
             converge(net)
-            result = prov.converge_bgp(route_reflector=pes[0] if rr else None)
-            raw[(n_pes, rr)] = result
+            result = prov.converge_bgp(**bgp_kwargs)
+            raw[(n_pes, topology)] = result
             rows.append(
                 {
                     "pes": n_pes,
-                    "topology": "route-reflector" if rr else "full-mesh",
+                    "topology": topology,
                     "sessions": result.sessions,
                     "updates": result.updates_sent,
+                    "suppressed": result.updates_suppressed,
                     "routes_imported": result.routes_imported,
                 }
             )

@@ -79,7 +79,24 @@ def e5_grid(
     return tasks
 
 
-GRIDS = {"e1": e1_grid, "e2": e2_grid, "e5": e5_grid}
+def e15_grid(
+    sites: Sequence[int] = (10, 50, 100, 200), reps: int = 1, **_: object
+) -> list[Task]:
+    """Churn storms over site counts × seeds (message/state columns are
+    deterministic; per-storm wall latency rides in task timing)."""
+    tasks = []
+    for n in sites:
+        for r in range(reps):
+            name = f"e15/storms/n{n}/r{r}"
+            tasks.append(
+                _task(len(tasks), "e15", name,
+                      {"sites": int(n), "site_flaps": 4,
+                       "wave_sites": 4, "link_flaps": 1})
+            )
+    return tasks
+
+
+GRIDS = {"e1": e1_grid, "e2": e2_grid, "e5": e5_grid, "e15": e15_grid}
 
 
 def build_grid(
@@ -108,5 +125,8 @@ def smoke_grid() -> list[Task]:
               {"stage": "full", "measure_s": 0.5}),
         _task(3, "e5", "smoke/e5/full-slo/r0",
               {"stage": "full", "measure_s": 0.5, "slo": True}),
+        _task(4, "e15", "smoke/e15/storms/n10/r0",
+              {"sites": 10, "site_flaps": 2, "wave_sites": 2,
+               "link_flaps": 1}),
     ]
     return tasks

@@ -172,10 +172,34 @@ def _scenario_e5(params: dict, seed: int, prebuilt: Any = None) -> tuple[list[di
     return rows, {}
 
 
+def _scenario_e15(params: dict, seed: int, prebuilt: Any = None) -> tuple[list[dict], dict]:
+    from repro.experiments.e1_scalability import mpls_base
+    from repro.experiments.e15_churn import churn_storms
+
+    ctx = prebuilt if prebuilt is not None else mpls_base(params["sites"], seed=seed)
+    storm_rows = churn_storms(
+        ctx,
+        site_flaps=params.get("site_flaps", 4),
+        wave_sites=params.get("wave_sites", 4),
+        link_flaps=params.get("link_flaps", 1),
+    )
+    # Wall clock is measurement, not result: keep the deterministic
+    # message/state columns in the rows (cold == warm must hold
+    # byte-identically) and move the latencies to the timing side.
+    timing = {
+        "storm_wall_ms": {r["storm"]: r.pop("wall_ms") for r in storm_rows}
+    }
+    rows = [
+        {"sites": params["sites"], "seed": seed, **r} for r in storm_rows
+    ]
+    return rows, timing
+
+
 SCENARIOS: dict[str, Callable[..., tuple[list[dict], dict]]] = {
     "e1": _scenario_e1,
     "e2": _scenario_e2,
     "e5": _scenario_e5,
+    "e15": _scenario_e15,
 }
 
 
@@ -200,6 +224,11 @@ def base_key(task: Task) -> str | None:
         return f"e2/{params['config']}"
     if scenario == "e5":
         return f"e5/{params['stage']}"
+    if scenario == "e15":
+        # Churn tasks *mutate* their base, so they get the snapshot-restore
+        # tier (a fresh graph per task), never the shared live tier — the
+        # key is distinct from e1's on purpose.
+        return f"e15/{params['sites']}"
     return None
 
 
@@ -221,6 +250,11 @@ def _build_base_ctx(key: str) -> tuple[Any, dict]:
         from repro.experiments.e5_sla import _build
 
         ctx = _build(rest, seed=0)
+        return ctx.pop("net"), ctx
+    if scenario == "e15":
+        from repro.experiments.e1_scalability import mpls_base
+
+        ctx = mpls_base(int(rest))
         return ctx.pop("net"), ctx
     raise ValueError(f"no base builder for {key!r}")
 

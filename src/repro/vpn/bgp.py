@@ -1,29 +1,63 @@
-"""MP-BGP distribution of VPN-IPv4 routes (RFC 2547 §4).
+"""MP-BGP distribution of VPN-IPv4 routes (RFC 2547 §4) — incremental.
 
-Models a converged MP-iBGP mesh among the PE routers: every PE exports its
-VRFs' local routes as VPN-IPv4 NLRI — (RD:prefix, route targets, next hop
-= PE loopback, VPN label) — and imports the routes whose RT set intersects
+Models an MP-iBGP mesh among the PE routers: every PE exports its VRFs'
+local routes as VPN-IPv4 NLRI — (RD:prefix, route targets, next hop =
+PE loopback, VPN label) — and imports the routes whose RT set intersects
 a VRF's import policy.  "Piggybacking labels in the routing protocol
 updates" is exactly the paper's §4 description of the mechanism.
 
-Two session topologies are supported, because their control-plane cost is
-an E9e ablation:
+Unlike the frozen pre-churn model (:mod:`repro.vpn.reference`), the
+engine keeps a **persistent Adj-RIB**: per-(PE, VRF) export sets plus an
+incrementally maintained RT → prefix → routes index.  ``converge()`` is
+a *resync* — it diffs desired state against the RIB, so re-running it on
+an unchanged network sends zero updates, installs nothing, and leaves
+every VRF generation untouched (the data-plane flow caches stay warm).
+Delta operations propagate only the changed routes:
+
+* :meth:`export_delta` — re-sync one VRF's exports after local route
+  changes (site added/removed behind an existing PE).
+* :meth:`withdraw` — retract a VRF's advertisements (or one site's)
+  ahead of de-provisioning.
+* :meth:`peer_down` / :meth:`peer_up` — PE maintenance drain: implicit
+  withdraw of the PE's routes everywhere, flush of its own imports, and
+  a full re-advertise + refresh when the PE returns.
+
+All VRF installs go through the batched ``add_remote_many`` /
+``remove_many`` paths (single FIB generation bump per VRF per
+operation — PR 3's ``install_many`` pattern).  Local routes are
+preferred over imports: a prefix a VRF holds as a local is never
+overwritten (or removed) by the import side — the standard BGP
+admin-distance rule, and what keeps churn idempotent when two sites
+advertise the same prefix.
+
+Three session topologies are supported, because their control-plane
+cost is an E9e ablation:
 
 * **full mesh** — n(n−1)/2 iBGP sessions; each UPDATE goes to n−1 peers.
 * **route reflector** — n−1 sessions (every PE peers with the RR); each
   UPDATE goes to the RR, which reflects it to the other n−1 clients.
+* **RR clusters** — ``rr_clusters`` names k reflector clusters (each a
+  single RR or a redundant pair); clients are assigned round-robin, the
+  reflectors peer in a full mesh among themselves, and reflected routes
+  carry a cluster list so a redundant co-reflector drops its partner's
+  copy (RFC 4456 loop suppression, surfaced as ``updates_suppressed``).
 
-Message/ session counts land in ``net.counters`` for E1/E9e.
+Update fan-out is computed by simulating the reflection graph per
+origin (memoized), so session/update/suppression accounting is exact
+for any topology.  Message and session counts land in ``net.counters``
+for E1/E9e/E15.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.net.address import IPv4Address, Prefix
 from repro.vpn.pe import PeRouter
 from repro.vpn.rd_rt import RouteTarget, VpnPrefix
+from repro.vpn.vrf import Vrf
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.topology import Network
@@ -46,120 +80,647 @@ class VpnRoute:
 
 @dataclass
 class BgpResult:
-    """Converged-state census after one distribution pass."""
+    """Census of one distribution pass (full resync or delta).
+
+    ``routes_exported``/``routes_withdrawn`` count NLRI advertised and
+    retracted by this pass; ``routes_imported``/``routes_removed`` count
+    the resulting VRF installs and removals.  ``updates_suppressed``
+    counts UPDATEs a reflector dropped by cluster-list loop detection.
+    """
 
     sessions: int = 0
     updates_sent: int = 0
     routes_exported: int = 0
     routes_imported: int = 0
     exported: list[VpnRoute] = field(default_factory=list)
+    routes_withdrawn: int = 0
+    routes_removed: int = 0
+    updates_suppressed: int = 0
+
+
+def _normalize_clusters(
+    rr_clusters: Sequence[Sequence[str] | str] | None,
+) -> tuple[tuple[str, ...], ...]:
+    if not rr_clusters:
+        return ()
+    out: list[tuple[str, ...]] = []
+    for cluster in rr_clusters:
+        if isinstance(cluster, str):
+            out.append((cluster,))
+        else:
+            out.append(tuple(cluster))
+    return tuple(out)
 
 
 class MpBgp:
-    """Converged MP-iBGP model over a set of PE routers."""
+    """Incremental MP-iBGP engine over a set of PE routers."""
 
     def __init__(
         self,
         net: "Network",
         pes: Sequence[PeRouter],
         route_reflector: str | None = None,
+        rr_clusters: Sequence[Sequence[str] | str] | None = None,
     ) -> None:
         if not pes:
             raise ValueError("need at least one PE")
         names = [pe.name for pe in pes]
         if len(set(names)) != len(names):
             raise ValueError("duplicate PE names")
+        if route_reflector is not None and rr_clusters is not None:
+            raise ValueError("pass route_reflector or rr_clusters, not both")
         if route_reflector is not None and route_reflector not in names:
             raise ValueError(f"route reflector {route_reflector!r} is not a PE")
         self.net = net
         self.pes = list(pes)
         self.route_reflector = route_reflector
+        if rr_clusters is None and route_reflector is not None:
+            rr_clusters = [(route_reflector,)]
+        self.rr_clusters = _normalize_clusters(rr_clusters)
+
+        self._pe_by_name = {pe.name: pe for pe in self.pes}
+        self._pe_pos = {pe.name: i for i, pe in enumerate(self.pes)}
+        self._rr_cluster_of: dict[str, int] = {}
+        for ci, cluster in enumerate(self.rr_clusters):
+            if not cluster:
+                raise ValueError("empty RR cluster")
+            for rr in cluster:
+                if rr not in self._pe_by_name:
+                    raise ValueError(f"route reflector {rr!r} is not a PE")
+                if rr in self._rr_cluster_of:
+                    raise ValueError(f"route reflector {rr!r} in two clusters")
+                self._rr_cluster_of[rr] = ci
+        # Clients round-robin over clusters, in name order — deterministic
+        # so session/update accounting is reproducible.
+        self._client_cluster: dict[str, int] = {}
+        if self.rr_clusters:
+            clients = sorted(n for n in names if n not in self._rr_cluster_of)
+            for i, name in enumerate(clients):
+                self._client_cluster[name] = i % len(self.rr_clusters)
+        self._neighbors = self._build_neighbors()
+
+        # --- persistent Adj-RIB -------------------------------------------
+        # Adj-RIB-Out per (pe, vrf): prefix -> advertised VpnRoute.
+        self._rib: dict[tuple[str, str], dict[Prefix, VpnRoute]] = {}
+        # RT -> prefix -> (origin pe, vrf) -> route; maintained on every
+        # advertise/withdraw so imports never rescan the full export set.
+        self._rt_index: dict[
+            RouteTarget, dict[Prefix, dict[tuple[str, str], VpnRoute]]
+        ] = {}
+        # What each (pe, vrf) currently has installed from BGP — the diff
+        # base that makes resync idempotent.
+        self._imported: dict[tuple[str, str], dict[Prefix, VpnRoute]] = {}
+        # (pe, vrf) keys that have had at least one import sync; a key
+        # seen for the first time in export_delta gets a one-time
+        # wholesale import sync (BGP route refresh for a new VRF) so it
+        # catches up on NLRI advertised before it existed.
+        self._known: set[tuple[str, str]] = set()
+        self._down: set[str] = set()
+        self._sessions_counted = False
+        # Per-origin fan-out (receivers, sent, suppressed), memoized until
+        # the up/down set changes.
+        self._prop_cache: dict[tuple[str, bool], tuple[frozenset[str], int, int]] = {}
 
     # ------------------------------------------------------------------
+    # Topology census
+    # ------------------------------------------------------------------
+    def _build_neighbors(self) -> dict[str, tuple[str, ...]]:
+        nbrs: dict[str, set[str]] = {pe.name: set() for pe in self.pes}
+        if len(self.pes) >= 2:
+            if not self.rr_clusters:
+                all_names = set(nbrs)
+                for a in nbrs:
+                    nbrs[a] = all_names - {a}
+            else:
+                rrs = sorted(self._rr_cluster_of)
+                for i, a in enumerate(rrs):
+                    for b in rrs[i + 1:]:
+                        nbrs[a].add(b)
+                        nbrs[b].add(a)
+                for client, ci in self._client_cluster.items():
+                    for rr in self.rr_clusters[ci]:
+                        nbrs[client].add(rr)
+                        nbrs[rr].add(client)
+        return {name: tuple(sorted(peers)) for name, peers in nbrs.items()}
+
     def session_count(self) -> int:
-        n = len(self.pes)
-        if n < 2:
-            return 0
-        if self.route_reflector is not None:
-            return n - 1
-        return n * (n - 1) // 2
+        """Configured iBGP sessions (topology census, ignores drains)."""
+        return sum(len(peers) for peers in self._neighbors.values()) // 2
 
     def _updates_for_export(self) -> int:
-        """UPDATE messages triggered by one exported route."""
-        n = len(self.pes)
-        if n < 2:
+        """UPDATE messages triggered by one exported route (client origin)."""
+        if len(self.pes) < 2:
             return 0
-        if self.route_reflector is not None:
-            # origin -> RR (1), then RR -> the other n-2 clients.  Total is
-            # n-1, same as full mesh — reflection saves *sessions*, not
-            # updates (the E9e ablation shows exactly this split).
-            return 1 + (n - 2)
-        return n - 1
+        origin = next(
+            (n for n in self._pe_by_name if n not in self._rr_cluster_of),
+            self.pes[0].name,
+        )
+        return self._propagate(origin)[1]
 
     # ------------------------------------------------------------------
-    def converge(self) -> BgpResult:
-        """Export all VRF local routes, distribute, import by RT policy."""
-        result = BgpResult(sessions=self.session_count())
-        self.net.counters.incr("bgp.sessions", result.sessions)
+    def _propagate(
+        self, origin: str, first_hop_free: bool = False
+    ) -> tuple[frozenset[str], int, int]:
+        """Simulate one UPDATE's fan-out from ``origin``.
 
-        exports: list[VpnRoute] = []
-        for pe in self.pes:
-            assert pe.loopback is not None, f"PE {pe.name} needs a loopback"
-            for vrf in pe.vrfs.values():
-                for prefix, route in sorted(vrf.local_routes().items()):
-                    exports.append(
-                        VpnRoute(
-                            key=VpnPrefix(vrf.rd, prefix),
-                            prefix=prefix,
-                            route_targets=vrf.export_rts,
-                            next_hop=pe.loopback,
-                            vpn_label=vrf.vpn_label,
-                            origin_pe=pe.name,
-                            origin_site=route.origin_site,
-                        )
-                    )
-        result.exported = exports
-        result.routes_exported = len(exports)
+        Returns (receivers, updates sent, updates suppressed by cluster
+        list).  ``first_hop_free`` models an *implicit* withdraw — the
+        origin's sessions are gone, so its peers generate the withdraw
+        themselves and only the reflection legs cost messages.
+        """
+        key = (origin, first_hop_free)
+        cached = self._prop_cache.get(key)
+        if cached is not None:
+            return cached
+        down = self._down
+        sent = suppressed = 0
+        accepted = {origin}
+        receivers: list[str] = []
+        queue: deque[tuple[str, str, frozenset[int]]] = deque()
+        for nb in self._neighbors[origin]:
+            if nb in down:
+                continue
+            if not first_hop_free:
+                sent += 1
+            queue.append((nb, origin, frozenset()))
+        while queue:
+            node, frm, clist = queue.popleft()
+            cluster = self._rr_cluster_of.get(node)
+            if cluster is not None and cluster in clist:
+                suppressed += 1      # RFC 4456 cluster-list loop drop
+                continue
+            if node in accepted:
+                continue             # duplicate path, lost to path selection
+            accepted.add(node)
+            receivers.append(node)
+            if cluster is None:
+                continue             # plain iBGP speakers never re-advertise
+            new_clist = clist | {cluster}
+            if frm in self._client_cluster:
+                # Client-learned: reflect to every other peer.
+                targets: Iterable[str] = (
+                    t for t in self._neighbors[node] if t != frm
+                )
+            else:
+                # Learned from a non-client (co-reflector): clients only.
+                targets = (
+                    t for t in self._neighbors[node]
+                    if t in self._client_cluster and t != frm
+                )
+            for t in targets:
+                if t in down:
+                    continue
+                sent += 1
+                queue.append((t, node, new_clist))
+        out = (frozenset(receivers), sent, suppressed)
+        self._prop_cache[key] = out
+        return out
 
-        per_export = self._updates_for_export()
-        if self.route_reflector is not None:
-            # RR-originated routes fan straight out to the n-1 clients; every
-            # other route costs per_export (origin→RR, RR→other clients).
-            rr_origin = sum(
-                1 for route in exports if route.origin_pe == self.route_reflector
+    def _count_updates(
+        self,
+        advertised: Sequence[VpnRoute],
+        withdrawn: Sequence[VpnRoute],
+        result: BgpResult,
+        implicit: bool = False,
+    ) -> None:
+        for route in advertised:
+            _, sent, sup = self._propagate(route.origin_pe)
+            result.updates_sent += sent
+            result.updates_suppressed += sup
+        for route in withdrawn:
+            _, sent, sup = self._propagate(route.origin_pe, first_hop_free=implicit)
+            result.updates_sent += sent
+            result.updates_suppressed += sup
+
+    # ------------------------------------------------------------------
+    # Adj-RIB maintenance
+    # ------------------------------------------------------------------
+    def _index(self, key: tuple[str, str], route: VpnRoute) -> None:
+        for rt in route.route_targets:
+            self._rt_index.setdefault(rt, {}).setdefault(route.prefix, {})[key] = route
+
+    def _unindex(self, key: tuple[str, str], route: VpnRoute) -> None:
+        for rt in route.route_targets:
+            by_prefix = self._rt_index.get(rt)
+            if by_prefix is None:
+                continue
+            origins = by_prefix.get(route.prefix)
+            if origins is None:
+                continue
+            origins.pop(key, None)
+            if not origins:
+                del by_prefix[route.prefix]
+                if not by_prefix:
+                    del self._rt_index[rt]
+
+    def _sync_exports(
+        self,
+        pe: PeRouter,
+        vrf: Vrf,
+        advertised: list[VpnRoute],
+        withdrawn: list[VpnRoute],
+    ) -> None:
+        """Diff one VRF's local routes against its Adj-RIB-Out."""
+        assert pe.loopback is not None, f"PE {pe.name} needs a loopback"
+        key = (pe.name, vrf.name)
+        desired: dict[Prefix, VpnRoute] = {}
+        for prefix, route in sorted(vrf.local_routes().items()):
+            desired[prefix] = VpnRoute(
+                key=VpnPrefix(vrf.rd, prefix),
+                prefix=prefix,
+                route_targets=vrf.export_rts,
+                next_hop=pe.loopback,
+                vpn_label=vrf.vpn_label,
+                origin_pe=pe.name,
+                origin_site=route.origin_site,
             )
-            result.updates_sent = rr_origin * (len(self.pes) - 1) + (
-                len(exports) - rr_origin
-            ) * per_export
-        else:
-            result.updates_sent = len(exports) * per_export
-        self.net.counters.incr("bgp.updates", result.updates_sent)
+        current = self._rib.setdefault(key, {})
+        for prefix, route in desired.items():
+            old = current.get(prefix)
+            if old == route:
+                continue
+            if old is not None:      # replacement UPDATE: implicit withdraw
+                self._unindex(key, old)
+            current[prefix] = route
+            self._index(key, route)
+            advertised.append(route)
+        for prefix in [p for p in current if p not in desired]:
+            route = current.pop(prefix)
+            self._unindex(key, route)
+            withdrawn.append(route)
+        if not current:
+            del self._rib[key]
 
-        # Import phase: RT intersection decides; never import your own export
-        # back into its source VRF (split horizon on the VPN prefix key).
-        # Index exports by RT once so each VRF only scans routes that can
-        # match its import policy — at N sites the full-mesh VPN still
-        # touches O(N²) (route, VRF) pairs, but disjoint VPNs sharing the
-        # backbone no longer pay for each other's routes.
-        by_rt: dict[RouteTarget, list[int]] = {}
-        for i, route in enumerate(exports):
+    def _retract_key(self, key: tuple[str, str]) -> list[VpnRoute]:
+        """Drop every advertisement for a (pe, vrf) that no longer exists."""
+        routes = list(self._rib.pop(key, {}).values())
+        for route in routes:
+            self._unindex(key, route)
+        self._imported.pop(key, None)
+        self._known.discard(key)
+        return routes
+
+    # ------------------------------------------------------------------
+    # Import side
+    # ------------------------------------------------------------------
+    def _vrf_order(self) -> dict[str, dict[str, int]]:
+        """Per-PE VRF insertion order — the tie-break that keeps the
+        incremental winner identical to the full-converge import order."""
+        return {
+            pe.name: {name: i for i, name in enumerate(pe.vrfs)}
+            for pe in self.pes
+        }
+
+    def _pick_winner(
+        self,
+        importer: str,
+        candidates: dict[tuple[str, str], VpnRoute],
+        vrf_order: dict[str, dict[str, int]],
+    ) -> VpnRoute | None:
+        best: VpnRoute | None = None
+        best_key: tuple[int, int] | None = None
+        for (origin, vrf_name), route in candidates.items():
+            if origin == importer or origin in self._down:
+                continue
+            rank = (self._pe_pos[origin], vrf_order.get(origin, {}).get(vrf_name, -1))
+            if best_key is None or rank > best_key:
+                best_key, best = rank, route
+        return best
+
+    def _desired_imports(
+        self, pe: PeRouter, vrf: Vrf, vrf_order: dict[str, dict[str, int]]
+    ) -> dict[Prefix, VpnRoute]:
+        if not vrf.import_rts:
+            return {}
+        merged: dict[Prefix, dict[tuple[str, str], VpnRoute]] = {}
+        for rt in vrf.import_rts:
+            for prefix, origins in self._rt_index.get(rt, {}).items():
+                merged.setdefault(prefix, {}).update(origins)
+        desired: dict[Prefix, VpnRoute] = {}
+        for prefix, candidates in merged.items():
+            winner = self._pick_winner(pe.name, candidates, vrf_order)
+            if winner is not None:
+                desired[prefix] = winner
+        return desired
+
+    def _apply_import_changes(
+        self,
+        vrf: Vrf,
+        key: tuple[str, str],
+        adds: list[tuple[Prefix, VpnRoute]],
+        dels: list[Prefix],
+        result: BgpResult,
+    ) -> None:
+        current = self._imported.setdefault(key, {})
+        if dels:
+            # A del may be a bookkeeping-only drop: a prefix the VRF now
+            # holds as a *local* route (locals are preferred over BGP —
+            # never overwritten, so never removed here either).
+            doomed = [p for p in dels if vrf.kind_of(p) == "remote"]
+            vrf.remove_many(doomed)
+            for prefix in dels:
+                current.pop(prefix, None)
+            result.routes_removed += len(doomed)
+        if adds:
+            vrf.add_remote_many(
+                [
+                    (prefix, r.next_hop, r.vpn_label, r.origin_site)
+                    for prefix, r in adds
+                ]
+            )
+            for prefix, r in adds:
+                current[prefix] = r
+            result.routes_imported += len(adds)
+        if not current:
+            self._imported.pop(key, None)
+
+    def _sync_vrf_imports(
+        self,
+        pe: PeRouter,
+        vrf: Vrf,
+        desired: dict[Prefix, VpnRoute],
+        result: BgpResult,
+    ) -> None:
+        key = (pe.name, vrf.name)
+        current = self._imported.get(key, {})
+        local = vrf.local_routes()
+        adds = [
+            (p, r) for p, r in desired.items()
+            if p not in local and current.get(p) != r
+        ]
+        dels = [p for p in current if p not in desired or p in local]
+        self._apply_import_changes(vrf, key, adds, dels, result)
+
+    def _resync_imports_for(
+        self, changed: Sequence[VpnRoute], result: BgpResult
+    ) -> None:
+        """Targeted import recompute: only VRFs whose import policy
+        intersects the changed routes, only the changed prefixes."""
+        if not changed:
+            return
+        prefixes_by_rt: dict[RouteTarget, set[Prefix]] = {}
+        for route in changed:
             for rt in route.route_targets:
-                by_rt.setdefault(rt, []).append(i)
+                prefixes_by_rt.setdefault(rt, set()).add(route.prefix)
+        vrf_order = self._vrf_order()
         for pe in self.pes:
+            if pe.name in self._down:
+                continue
             for vrf in pe.vrfs.values():
-                candidates = sorted(
-                    set().union(*(by_rt.get(rt, ()) for rt in vrf.import_rts))
-                ) if vrf.import_rts else []
-                for i in candidates:
-                    route = exports[i]
-                    if route.origin_pe == pe.name:
+                hit = vrf.import_rts & prefixes_by_rt.keys()
+                if not hit:
+                    continue
+                key = (pe.name, vrf.name)
+                current = self._imported.get(key, {})
+                prefixes: set[Prefix] = set()
+                for rt in hit:
+                    prefixes |= prefixes_by_rt[rt]
+                adds: list[tuple[Prefix, VpnRoute]] = []
+                dels: list[Prefix] = []
+                for prefix in sorted(prefixes):
+                    if vrf.kind_of(prefix) == "local":
+                        # Locals are preferred over any import; drop stale
+                        # bookkeeping but leave the VRF entry alone.
+                        if prefix in current:
+                            dels.append(prefix)
                         continue
-                    vrf.add_remote(
-                        route.prefix,
-                        remote_pe=route.next_hop,
-                        vpn_label=route.vpn_label,
-                        origin_site=route.origin_site,
-                    )
-                    result.routes_imported += 1
+                    candidates: dict[tuple[str, str], VpnRoute] = {}
+                    for rt in vrf.import_rts:
+                        candidates.update(
+                            self._rt_index.get(rt, {}).get(prefix, {})
+                        )
+                    winner = self._pick_winner(pe.name, candidates, vrf_order)
+                    have = current.get(prefix)
+                    if winner is None:
+                        if have is not None:
+                            dels.append(prefix)
+                    elif have != winner:
+                        adds.append((prefix, winner))
+                self._apply_import_changes(vrf, key, adds, dels, result)
+
+    # ------------------------------------------------------------------
+    # Public operations
+    # ------------------------------------------------------------------
+    def converge(self) -> BgpResult:
+        """Resync every VRF's exports and imports against the Adj-RIB.
+
+        On a fresh engine this is the classic full convergence (and its
+        message/state accounting matches :mod:`repro.vpn.reference`
+        exactly); re-running it on an unchanged network is a no-op —
+        zero updates, zero installs, VRF generations untouched.
+        """
+        result = BgpResult(sessions=self.session_count())
+        if not self._sessions_counted:
+            self.net.counters.incr("bgp.sessions", result.sessions)
+            self._sessions_counted = True
+        advertised: list[VpnRoute] = []
+        withdrawn: list[VpnRoute] = []
+        live_keys: set[tuple[str, str]] = set()
+        for pe in self.pes:
+            if pe.name in self._down:
+                continue
+            for vrf in pe.vrfs.values():
+                live_keys.add((pe.name, vrf.name))
+                self._sync_exports(pe, vrf, advertised, withdrawn)
+        self._known |= live_keys
+        for key in [
+            k for k in self._rib if k not in live_keys and k[0] not in self._down
+        ]:
+            withdrawn.extend(self._retract_key(key))
+        result.exported = advertised
+        result.routes_exported = len(advertised)
+        result.routes_withdrawn = len(withdrawn)
+        self._count_updates(advertised, withdrawn, result)
+
+        vrf_order = self._vrf_order()
+        for pe in self.pes:
+            if pe.name in self._down:
+                continue
+            for vrf in pe.vrfs.values():
+                self._sync_vrf_imports(
+                    pe, vrf, self._desired_imports(pe, vrf, vrf_order), result
+                )
+        self.net.counters.incr("bgp.updates", result.updates_sent)
         self.net.counters.incr("bgp.routes_imported", result.routes_imported)
+        if result.routes_removed:
+            self.net.counters.incr("bgp.routes_removed", result.routes_removed)
         return result
+
+    def export_delta(self, pe: PeRouter, vrf: Vrf | str) -> BgpResult:
+        """Propagate one VRF's local-route changes to affected VRFs only."""
+        if isinstance(vrf, str):
+            vrf = pe.vrfs[vrf]
+        if pe.name not in self._pe_by_name:
+            raise ValueError(f"{pe.name} is not in this BGP mesh")
+        if pe.name in self._down:
+            raise ValueError(f"{pe.name} is drained; peer_up() it first")
+        result = BgpResult(sessions=self.session_count())
+        advertised: list[VpnRoute] = []
+        withdrawn: list[VpnRoute] = []
+        self._sync_exports(pe, vrf, advertised, withdrawn)
+        result.exported = advertised
+        result.routes_exported = len(advertised)
+        result.routes_withdrawn = len(withdrawn)
+        self._count_updates(advertised, withdrawn, result)
+        self._resync_imports_for(advertised + withdrawn, result)
+        key = (pe.name, vrf.name)
+        if key not in self._known:
+            # First sync for this VRF: route-refresh its imports so it
+            # catches up on NLRI advertised before it existed.
+            self._known.add(key)
+            self._sync_vrf_imports(
+                pe, vrf, self._desired_imports(pe, vrf, self._vrf_order()), result
+            )
+        self._tally(result)
+        return result
+
+    def withdraw(
+        self,
+        pe: PeRouter,
+        vrf: Vrf | str | None = None,
+        site: int | None = None,
+    ) -> BgpResult:
+        """Retract advertisements: a whole VRF's, one site's, or all of
+        ``pe``'s.  Local routes are untouched — this is the control-plane
+        half of de-provisioning (the provisioner removes the locals)."""
+        if pe.name not in self._pe_by_name:
+            raise ValueError(f"{pe.name} is not in this BGP mesh")
+        vrf_name = vrf.name if isinstance(vrf, Vrf) else vrf
+        result = BgpResult(sessions=self.session_count())
+        withdrawn: list[VpnRoute] = []
+        for key in [k for k in self._rib if k[0] == pe.name]:
+            if vrf_name is not None and key[1] != vrf_name:
+                continue
+            current = self._rib[key]
+            doomed = [
+                p for p, r in current.items()
+                if site is None or r.origin_site == site
+            ]
+            for prefix in doomed:
+                route = current.pop(prefix)
+                self._unindex(key, route)
+                withdrawn.append(route)
+            if not current:
+                del self._rib[key]
+        result.routes_withdrawn = len(withdrawn)
+        self._count_updates((), withdrawn, result)
+        self._resync_imports_for(withdrawn, result)
+        self._tally(result)
+        return result
+
+    def forget_vrf(self, pe: PeRouter | str, vrf_name: str) -> None:
+        """Drop all bookkeeping for a VRF being deleted (no messages)."""
+        pe_name = pe if isinstance(pe, str) else pe.name
+        key = (pe_name, vrf_name)
+        if self._rib.get(key):
+            raise ValueError(f"{key} still has advertisements; withdraw first")
+        self._rib.pop(key, None)
+        self._imported.pop(key, None)
+        self._known.discard(key)
+
+    def peer_down(self, pe: PeRouter | str) -> BgpResult:
+        """PE maintenance drain: sessions to ``pe`` go down, its routes
+        are implicitly withdrawn everywhere, and its VRFs flush their
+        BGP-learned imports.  The Adj-RIB keeps the PE's exports so
+        :meth:`peer_up` can re-advertise without re-exporting."""
+        name = pe if isinstance(pe, str) else pe.name
+        if name not in self._pe_by_name:
+            raise ValueError(f"{name} is not in this BGP mesh")
+        if name in self._rr_cluster_of:
+            raise ValueError(f"cannot drain route reflector {name}")
+        result = BgpResult(sessions=self.session_count())
+        if name in self._down:
+            return result
+        routes = [
+            r for key, rib in self._rib.items() if key[0] == name
+            for r in rib.values()
+        ]
+        # Implicit withdraw: peers detect the session loss themselves,
+        # only reflection legs cost messages.  Costed before the drain so
+        # the fan-out uses the still-up topology.
+        self._count_updates((), routes, result, implicit=True)
+        self._down.add(name)
+        self._prop_cache.clear()
+        self.net.counters.incr("bgp.sessions_down", len(
+            [n for n in self._neighbors[name] if n not in self._down]
+        ))
+        self._resync_imports_for(routes, result)
+        # The drained PE's own VRFs lose everything they learned.
+        node = self._pe_by_name[name]
+        for vrf in node.vrfs.values():
+            key = (name, vrf.name)
+            dels = list(self._imported.get(key, {}))
+            self._apply_import_changes(vrf, key, [], dels, result)
+        self._tally(result)
+        return result
+
+    def peer_up(self, pe: PeRouter | str) -> BgpResult:
+        """Bring a drained PE back: re-establish its sessions, re-advertise
+        its Adj-RIB, and refresh its VRFs from the mesh."""
+        name = pe if isinstance(pe, str) else pe.name
+        if name not in self._pe_by_name:
+            raise ValueError(f"{name} is not in this BGP mesh")
+        result = BgpResult(sessions=self.session_count())
+        if name not in self._down:
+            return result
+        self._down.discard(name)
+        self._prop_cache.clear()
+        up_peers = [n for n in self._neighbors[name] if n not in self._down]
+        self.net.counters.incr("bgp.sessions", len(up_peers))
+        routes = [
+            r for key, rib in self._rib.items() if key[0] == name
+            for r in rib.values()
+        ]
+        result.routes_exported = len(routes)
+        result.exported = list(routes)
+        self._count_updates(routes, (), result)
+        self._resync_imports_for(routes, result)
+        # Route refresh toward the returning PE: each visible foreign NLRI
+        # is delivered once over the re-established sessions.
+        refresh = sum(
+            len(rib) for key, rib in self._rib.items()
+            if key[0] != name and key[0] not in self._down
+        )
+        result.updates_sent += refresh
+        vrf_order = self._vrf_order()
+        node = self._pe_by_name[name]
+        for vrf in node.vrfs.values():
+            self._sync_vrf_imports(
+                node, vrf, self._desired_imports(node, vrf, vrf_order), result
+            )
+        self._tally(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def _tally(self, result: BgpResult) -> None:
+        counters = self.net.counters
+        if result.updates_sent:
+            counters.incr("bgp.updates", result.updates_sent)
+        if result.updates_suppressed:
+            counters.incr("bgp.updates_suppressed", result.updates_suppressed)
+        if result.routes_imported:
+            counters.incr("bgp.routes_imported", result.routes_imported)
+        if result.routes_removed:
+            counters.incr("bgp.routes_removed", result.routes_removed)
+        if result.routes_withdrawn:
+            counters.incr("bgp.routes_withdrawn", result.routes_withdrawn)
+
+    @property
+    def drained(self) -> frozenset[str]:
+        return frozenset(self._down)
+
+    @property
+    def reflectors(self) -> frozenset[str]:
+        """All route-reflector PE names, across clusters."""
+        return frozenset(self._rr_cluster_of)
+
+    def fanout(self, origin: str) -> tuple[int, int]:
+        """(UPDATEs sent, UPDATEs loop-suppressed) for one advertisement
+        from ``origin`` under the configured session topology — the E9e /
+        E15 per-route message cost."""
+        _, sent, suppressed = self._propagate(origin)
+        return sent, suppressed
+
+    def adj_rib_size(self) -> int:
+        """Total advertised NLRI across all origins (state census)."""
+        return sum(len(rib) for rib in self._rib.values())

@@ -88,6 +88,42 @@ class PeRouter(Lsr):
                 del self.connected_prefixes[subnet]
                 vrf.add_local(subnet, ifname)
 
+    def unbind_circuit(self, ifname: str) -> list:
+        """Detach a customer-facing interface from its VRF.
+
+        Every local route learned over this circuit (the site prefixes
+        *and* the access /30 that :meth:`bind_circuit` moved in) is
+        withdrawn in one batch; the freed prefixes are returned so the
+        provisioner can drive the MP-BGP withdraw.  The interface itself
+        stays on the node — decommissioned, not unwired.
+        """
+        vrf = self._vrf_of_circuit.pop(ifname, None)
+        if vrf is None:
+            raise ValueError(f"{self.name}: {ifname!r} is not bound to a VRF")
+        vrf.circuits.remove(ifname)
+        gone = [
+            p for p, r in vrf.routes().items()
+            if r.kind == "local" and r.out_ifname == ifname
+        ]
+        vrf.remove_many(gone)
+        return gone
+
+    def remove_vrf(self, name: str) -> Vrf:
+        """Delete a VRF: free its aggregate label and LFIB entry.
+
+        All circuits must be unbound first — a VRF with live attachment
+        circuits still owns customer traffic.
+        """
+        vrf = self.vrfs.get(name)
+        if vrf is None:
+            raise ValueError(f"{self.name}: no VRF {name!r}")
+        if vrf.circuits:
+            raise ValueError(f"{self.name}: VRF {name!r} still has circuits")
+        del self.vrfs[name]
+        self.lfib.remove(vrf.vpn_label)
+        self.labels.release(vrf.vpn_label)
+        return vrf
+
     def vrf_of_circuit(self, ifname: str) -> Optional[Vrf]:
         return self._vrf_of_circuit.get(ifname)
 

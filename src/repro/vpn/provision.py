@@ -32,6 +32,11 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = ["Site", "Vpn", "VpnProvisioner"]
 
+# Sentinel for "topology argument not given" on bgp_engine/converge_bgp:
+# distinguishes a bare call (reuse the engine as built) from an explicit
+# ``route_reflector=None, rr_clusters=None`` (request a full mesh).
+_KEEP: object = object()
+
 
 @dataclass
 class Site:
@@ -104,6 +109,11 @@ class VpnProvisioner:
         # serializes with the network in a simulator snapshot.
         self._next_rd_number = 1
         self._next_site_id = 1
+        # Persistent MP-BGP engine (created on first converge_bgp); its
+        # Adj-RIB is what makes site/VPN churn incremental.  Rebuilt only
+        # when the PE set or session topology changes.
+        self._bgp: MpBgp | None = None
+        self._bgp_sig: tuple | None = None
 
     def _alloc_rd_number(self) -> int:
         n = self._next_rd_number
@@ -308,9 +318,126 @@ class VpnProvisioner:
                 seen[site.pe.name] = site.pe
         return [seen[k] for k in sorted(seen)]
 
-    def converge_bgp(self, route_reflector: str | None = None) -> BgpResult:
+    def bgp_engine(
+        self,
+        route_reflector: str | None = _KEEP,
+        rr_clusters=_KEEP,
+    ) -> MpBgp:
+        """The persistent MP-BGP engine for the current PE set.
+
+        Reused across calls while the PE set is unchanged, so
+        ``converge_bgp`` after churn is an incremental resync against
+        the engine's Adj-RIB.  Leaving both topology arguments at their
+        defaults means "the engine as built" — a bare ``bgp_engine()``
+        never demotes an RR layout back to a full mesh (which would
+        silently discard the Adj-RIB and orphan installed imports).
+        A new PE, or an *explicitly* different reflector layout,
+        rebuilds the engine (next converge is full).
+        """
+        pes = self.pes()
+        pe_names = tuple(pe.name for pe in pes)
+        if route_reflector is _KEEP and rr_clusters is _KEEP:
+            if (
+                self._bgp is not None
+                and self._bgp_sig is not None
+                and self._bgp_sig[0] == pe_names
+            ):
+                return self._bgp
+            # No engine yet (or the PE set changed): default to full mesh.
+            route_reflector, rr_clusters = None, None
+        else:
+            route_reflector = None if route_reflector is _KEEP else route_reflector
+            rr_clusters = None if rr_clusters is _KEEP else rr_clusters
+        sig = (
+            pe_names,
+            route_reflector,
+            tuple(
+                (c,) if isinstance(c, str) else tuple(c)
+                for c in (rr_clusters or ())
+            ),
+        )
+        if self._bgp is None or self._bgp_sig != sig:
+            self._bgp = MpBgp(
+                self.net, pes,
+                route_reflector=route_reflector, rr_clusters=rr_clusters,
+            )
+            self._bgp_sig = sig
+        return self._bgp
+
+    def converge_bgp(
+        self,
+        route_reflector: str | None = _KEEP,
+        rr_clusters=_KEEP,
+    ) -> BgpResult:
         """Run MP-BGP over every involved PE (tunnels must already exist)."""
-        return MpBgp(self.net, self.pes(), route_reflector=route_reflector).converge()
+        return self.bgp_engine(
+            route_reflector=route_reflector, rr_clusters=rr_clusters
+        ).converge()
+
+    # ------------------------------------------------------------------
+    # Churn: de-provisioning and maintenance
+    # ------------------------------------------------------------------
+    def _site_vrf_names(self, v: Vpn, site: Site) -> list[str]:
+        if site.role == "hub":
+            return [f"{v.name}-hub-dn", f"{v.name}-hub-up"]
+        if site.role == "spoke":
+            return [f"{v.name}-spoke"]
+        return [v.name]
+
+    def remove_site(self, site: Site) -> Site:
+        """De-provision one site: unbind its circuit(s) — which withdraws
+        every local route learned over them — then push the withdrawal
+        through MP-BGP as a delta.  The CE and hosts stay in the graph as
+        decommissioned nodes (no VRF binding ⇒ unreachable from the VPN).
+        """
+        v = self.vpns[site.vpn_name]
+        if site not in v.sites:
+            raise ValueError(f"site {site.site_id} is not provisioned")
+        pe = site.pe
+        circuits = [site.pe_ifname]
+        if site.role == "hub":
+            circuits.append(site.extra["pe_up_ifname"])
+        for ifname in circuits:
+            pe.unbind_circuit(ifname)
+        v.sites.remove(site)
+        self.net.counters.incr("vpn.sites", -1)
+        if self._bgp is not None:
+            for vrf_name in self._site_vrf_names(v, site):
+                vrf = pe.vrfs.get(vrf_name)
+                if vrf is not None:
+                    self._bgp.export_delta(pe, vrf)
+        return site
+
+    def remove_vpn(self, name: str) -> Vpn:
+        """Tear down a whole VPN: every site, then every VRF it created."""
+        v = self.vpns[name]
+        holders = {site.pe.name: site.pe for site in v.sites}
+        for site in list(reversed(v.sites)):
+            self.remove_site(site)
+        vrf_names = [name, f"{name}-spoke", f"{name}-hub-dn", f"{name}-hub-up"]
+        for pe in holders.values():
+            for vrf_name in vrf_names:
+                if vrf_name not in pe.vrfs:
+                    continue
+                if self._bgp is not None:
+                    self._bgp.withdraw(pe, vrf=vrf_name)
+                    self._bgp.forget_vrf(pe, vrf_name)
+                pe.remove_vrf(vrf_name)
+        del self.vpns[name]
+        return v
+
+    def drain_pe(self, pe: PeRouter | str) -> BgpResult:
+        """Maintenance drain: take the PE's iBGP sessions down (implicit
+        withdraw of its routes everywhere, flush of its own imports)."""
+        if self._bgp is None:
+            raise ValueError("no BGP engine yet; run converge_bgp() first")
+        return self._bgp.peer_down(pe)
+
+    def restore_pe(self, pe: PeRouter | str) -> BgpResult:
+        """Bring a drained PE back into the mesh and refresh its VRFs."""
+        if self._bgp is None:
+            raise ValueError("no BGP engine yet; run converge_bgp() first")
+        return self._bgp.peer_up(pe)
 
     # ------------------------------------------------------------------
     def state_census(self) -> dict[str, int]:

@@ -1,0 +1,143 @@
+"""Frozen pre-incremental MP-BGP distribution — parity oracle.
+
+This is the PR 9-era ``MpBgp`` exactly as it shipped before the
+incremental churn engine replaced it: a monolithic ``converge()`` that
+re-exports every VRF local route, recomputes the RT index from scratch,
+and re-imports into every VRF on every call.  It is kept byte-for-byte
+faithful (modulo the class name and importing the shared dataclasses
+from :mod:`repro.vpn.bgp`) for two jobs:
+
+* **Parity** — ``tests/test_churn_incremental.py`` asserts that any
+  sequence of incremental churn operations leaves every VRF in exactly
+  the state a clear-and-full-converge with this implementation produces.
+* **Self-calibrating benchmarks** — the churn speedup floors in
+  ``benchmarks/test_control_plane_performance.py`` time the incremental
+  engine against this implementation on the same machine, so the ratio
+  is hardware-independent.
+
+Nothing in the library imports this module; it is a test/bench oracle
+only.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.vpn.bgp import BgpResult, VpnRoute
+from repro.vpn.pe import PeRouter
+from repro.vpn.rd_rt import RouteTarget, VpnPrefix
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.topology import Network
+
+__all__ = ["MpBgpReference"]
+
+
+class MpBgpReference:
+    """Converged MP-iBGP model over a set of PE routers (frozen)."""
+
+    def __init__(
+        self,
+        net: "Network",
+        pes: Sequence[PeRouter],
+        route_reflector: str | None = None,
+    ) -> None:
+        if not pes:
+            raise ValueError("need at least one PE")
+        names = [pe.name for pe in pes]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate PE names")
+        if route_reflector is not None and route_reflector not in names:
+            raise ValueError(f"route reflector {route_reflector!r} is not a PE")
+        self.net = net
+        self.pes = list(pes)
+        self.route_reflector = route_reflector
+
+    # ------------------------------------------------------------------
+    def session_count(self) -> int:
+        n = len(self.pes)
+        if n < 2:
+            return 0
+        if self.route_reflector is not None:
+            return n - 1
+        return n * (n - 1) // 2
+
+    def _updates_for_export(self) -> int:
+        """UPDATE messages triggered by one exported route."""
+        n = len(self.pes)
+        if n < 2:
+            return 0
+        if self.route_reflector is not None:
+            # origin -> RR (1), then RR -> the other n-2 clients.  Total is
+            # n-1, same as full mesh — reflection saves *sessions*, not
+            # updates (the E9e ablation shows exactly this split).
+            return 1 + (n - 2)
+        return n - 1
+
+    # ------------------------------------------------------------------
+    def converge(self) -> BgpResult:
+        """Export all VRF local routes, distribute, import by RT policy."""
+        result = BgpResult(sessions=self.session_count())
+        self.net.counters.incr("bgp.sessions", result.sessions)
+
+        exports: list[VpnRoute] = []
+        for pe in self.pes:
+            assert pe.loopback is not None, f"PE {pe.name} needs a loopback"
+            for vrf in pe.vrfs.values():
+                for prefix, route in sorted(vrf.local_routes().items()):
+                    exports.append(
+                        VpnRoute(
+                            key=VpnPrefix(vrf.rd, prefix),
+                            prefix=prefix,
+                            route_targets=vrf.export_rts,
+                            next_hop=pe.loopback,
+                            vpn_label=vrf.vpn_label,
+                            origin_pe=pe.name,
+                            origin_site=route.origin_site,
+                        )
+                    )
+        result.exported = exports
+        result.routes_exported = len(exports)
+
+        per_export = self._updates_for_export()
+        if self.route_reflector is not None:
+            # RR-originated routes fan straight out to the n-1 clients; every
+            # other route costs per_export (origin→RR, RR→other clients).
+            rr_origin = sum(
+                1 for route in exports if route.origin_pe == self.route_reflector
+            )
+            result.updates_sent = rr_origin * (len(self.pes) - 1) + (
+                len(exports) - rr_origin
+            ) * per_export
+        else:
+            result.updates_sent = len(exports) * per_export
+        self.net.counters.incr("bgp.updates", result.updates_sent)
+
+        # Import phase: RT intersection decides; never import your own export
+        # back into its source VRF (split horizon on the VPN prefix key).
+        # Index exports by RT once so each VRF only scans routes that can
+        # match its import policy — at N sites the full-mesh VPN still
+        # touches O(N²) (route, VRF) pairs, but disjoint VPNs sharing the
+        # backbone no longer pay for each other's routes.
+        by_rt: dict[RouteTarget, list[int]] = {}
+        for i, route in enumerate(exports):
+            for rt in route.route_targets:
+                by_rt.setdefault(rt, []).append(i)
+        for pe in self.pes:
+            for vrf in pe.vrfs.values():
+                candidates = sorted(
+                    set().union(*(by_rt.get(rt, ()) for rt in vrf.import_rts))
+                ) if vrf.import_rts else []
+                for i in candidates:
+                    route = exports[i]
+                    if route.origin_pe == pe.name:
+                        continue
+                    vrf.add_remote(
+                        route.prefix,
+                        remote_pe=route.next_hop,
+                        vpn_label=route.vpn_label,
+                        origin_site=route.origin_site,
+                    )
+                    result.routes_imported += 1
+        self.net.counters.incr("bgp.routes_imported", result.routes_imported)
+        return result

@@ -116,6 +116,42 @@ class Vrf:
         self._install(pfx, route)
         return route
 
+    def add_remote_many(
+        self,
+        items: list[tuple[Prefix, IPv4Address, int, int | None]],
+    ) -> int:
+        """Install a batch of MP-BGP imports with one FIB generation bump.
+
+        ``items`` is ``[(prefix, remote_pe, vpn_label, origin_site), ...]``.
+        The churn engine installs whole deltas through here so the PE's
+        per-VRF flow caches are invalidated once per batch, not once per
+        route (PR 3's ``install_many`` pattern).  Returns the batch size.
+        """
+        if not items:
+            return 0
+        batch: list[tuple[Prefix, RouteEntry]] = []
+        routes = self._routes
+        for prefix, remote_pe, vpn_label, origin_site in items:
+            routes[prefix] = VrfRoute(
+                "remote",
+                remote_pe=remote_pe,
+                vpn_label=vpn_label,
+                origin_site=origin_site,
+            )
+            batch.append((prefix, RouteEntry("", source="remote")))
+        return self._fib.install_many(batch)
+
+    def remove_many(self, prefixes: list[Prefix]) -> int:
+        """Withdraw a batch of routes with one FIB generation bump.
+
+        Absent prefixes are skipped; returns the number actually removed.
+        A batch that removes nothing leaves the generation untouched.
+        """
+        doomed = [p for p in prefixes if p in self._routes]
+        for prefix in doomed:
+            del self._routes[prefix]
+        return self._fib.withdraw_many(doomed)
+
     def _install(self, prefix: Prefix, route: VrfRoute) -> None:
         self._routes[prefix] = route
         # The trie stores a RouteEntry shell; the VrfRoute carries the real
@@ -129,6 +165,11 @@ class Vrf:
         del self._routes[pfx]
         self._fib.withdraw(pfx)
         return True
+
+    def kind_of(self, prefix: Prefix) -> str | None:
+        """``"local"``/``"remote"`` if ``prefix`` is installed, else None."""
+        route = self._routes.get(prefix)
+        return None if route is None else route.kind
 
     # ------------------------------------------------------------------
     @property

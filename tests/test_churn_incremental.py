@@ -1,0 +1,430 @@
+"""Property tests for the incremental MP-BGP churn engine.
+
+The contract held here is the strongest one available: after *any*
+sequence of churn operations — sites added, removed, flapped between
+PEs, duplicate prefixes introduced, whole VPNs provisioned and torn
+down, PEs drained and restored — the incrementally maintained VRF state
+equals what a clear-remotes + from-scratch ``converge()`` produces on
+the same network (the same oracle style as
+``test_reconverge_incremental`` uses for the IGP fast path).
+
+Alongside the property suite: RFC 4456 route-reflector cluster
+accounting (sessions, per-route fan-out, cluster-list suppression) and
+the idempotent-reconvergence regression for the old double-import /
+double-count bug.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.topology import Network
+from repro.vpn.bgp import MpBgp
+from repro.vpn.pe import PeRouter
+from repro.vpn.provision import VpnProvisioner
+
+slow_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+# ----------------------------------------------------------------------
+# Fixtures
+# ----------------------------------------------------------------------
+def _pe_mesh(n_pes: int) -> tuple[Network, list[PeRouter]]:
+    """A bare Network with n PE routers (loopbacks, no VRFs, no links) —
+    enough for session/fan-out accounting, which is pure control plane."""
+    net = Network(seed=5)
+    pes = [net.add_node(PeRouter(net.sim, f"pe{i}")) for i in range(n_pes)]
+    return net, pes
+
+
+def _world(
+    n_pes: int = 4, rr_clusters=None
+) -> tuple[Network, list[PeRouter], VpnProvisioner]:
+    """n PEs, a "corp" VPN with one anchor site per PE, converged.
+
+    The anchors keep every PE in ``prov.pes()`` throughout the churn, so
+    the persistent engine is never rebuilt mid-sequence.
+    """
+    net, pes = _pe_mesh(n_pes)
+    prov = VpnProvisioner(net)
+    corp = prov.create_vpn("corp")
+    for pe in pes:
+        prov.add_site(corp, pe, num_hosts=0)
+    prov.converge_bgp(rr_clusters=rr_clusters)
+    return net, pes, prov
+
+
+def _vrf_snapshot(prov: VpnProvisioner):
+    return {
+        (pe.name, vrf.name): vrf.routes()
+        for pe in prov.pes()
+        for vrf in pe.vrfs.values()
+    }
+
+
+def _strip_remotes(prov: VpnProvisioner) -> None:
+    for pe in prov.pes():
+        for vrf in pe.vrfs.values():
+            vrf.remove_many(
+                [p for p, r in vrf.routes().items() if r.kind == "remote"]
+            )
+
+
+def _oracle_snapshot(prov: VpnProvisioner, drained, rr_clusters=None):
+    """Flush every BGP-learned route and converge a fresh engine."""
+    _strip_remotes(prov)
+    oracle = MpBgp(prov.net, prov.pes(), rr_clusters=rr_clusters)
+    for name in sorted(drained):
+        oracle.peer_down(name)
+    oracle.converge()
+    return _vrf_snapshot(prov)
+
+
+# ----------------------------------------------------------------------
+# Satellite: idempotent re-convergence (the double-import regression)
+# ----------------------------------------------------------------------
+class TestIdempotentReconverge:
+    def test_second_converge_is_a_noop(self):
+        net, pes, prov = _world(4)
+        counters = net.counters.snapshot()
+        gens = {
+            (pe.name, v.name): v.generation
+            for pe in pes for v in pe.vrfs.values()
+        }
+        again = prov.converge_bgp()
+        assert again.updates_sent == 0
+        assert again.routes_exported == 0
+        assert again.routes_imported == 0
+        assert again.routes_removed == 0
+        # Counters unchanged: no double-counted sessions, updates, imports.
+        assert net.counters.snapshot() == counters
+        # Data-plane flow caches stay warm: no VRF generation bumps.
+        assert {
+            (pe.name, v.name): v.generation
+            for pe in pes for v in pe.vrfs.values()
+        } == gens
+
+    def test_converge_after_delta_is_a_noop(self):
+        net, pes, prov = _world(3)
+        site = prov.add_site(prov.vpns["corp"], pes[1], num_hosts=0)
+        prov.bgp_engine().export_delta(pes[1], pes[1].vrfs["corp"])
+        snap = _vrf_snapshot(prov)
+        again = prov.converge_bgp()
+        assert again.updates_sent == 0 and again.routes_imported == 0
+        assert _vrf_snapshot(prov) == snap
+        assert site in prov.vpns["corp"].sites
+
+
+# ----------------------------------------------------------------------
+# Engine reuse: a bare bgp_engine()/converge_bgp() must not rebuild an
+# RR-topology engine into a full mesh (discarding the Adj-RIB and
+# orphaning every import it had installed).
+# ----------------------------------------------------------------------
+class TestEngineReuse:
+    def test_bare_call_reuses_rr_engine(self):
+        net, pes, prov = _world(4, rr_clusters=[("pe0", "pe1")])
+        engine = prov.bgp_engine(rr_clusters=[("pe0", "pe1")])
+        assert prov.bgp_engine() is engine
+        assert engine.rr_clusters == (("pe0", "pe1"),)
+        # A bare converge on the reused engine is an incremental no-op.
+        again = prov.converge_bgp()
+        assert again.updates_sent == 0 and again.routes_imported == 0
+
+    def test_explicit_full_mesh_still_rebuilds(self):
+        net, pes, prov = _world(3, rr_clusters=["pe0"])
+        engine = prov.bgp_engine()
+        rebuilt = prov.bgp_engine(rr_clusters=None)
+        assert rebuilt is not engine
+        assert rebuilt.rr_clusters == ()
+
+    def test_pe_set_change_rebuilds(self):
+        net, pes, prov = _world(3)
+        engine = prov.bgp_engine()
+        net.add_node(PeRouter(net.sim, "pe9"))
+        extra = net.nodes["pe9"]
+        prov.add_site(prov.vpns["corp"], extra, num_hosts=0)
+        assert prov.bgp_engine() is not engine
+
+    def test_rr_churn_through_bare_calls_matches_oracle(self):
+        """The scenario that exposed the rebuild bug: flap sites and run a
+        VPN wave through bare bgp_engine()/converge_bgp() calls on an
+        RR-cluster engine, then compare against a fresh full converge."""
+        rr = [("pe0", "pe1")]
+        net, pes, prov = _world(4, rr_clusters=rr)
+        corp = prov.vpns["corp"]
+        anchors = {s.site_id for s in corp.sites}
+        # Three site flaps on non-reflector PEs, delta'd via bare calls.
+        for pe in (pes[2], pes[3], pes[2]):
+            site = prov.add_site(corp, pe, num_hosts=0)
+            prov.bgp_engine().export_delta(pe, pe.vrfs["corp"])
+            prov.remove_site(site)
+        # Drain/restore a client PE.
+        prov.drain_pe("pe3")
+        prov.restore_pe("pe3")
+        # A wave VPN provisioned then converged with a bare call.
+        wave = prov.create_vpn("wave")
+        for pe in (pes[2], pes[3]):
+            prov.add_site(wave, pe, num_hosts=0)
+        prov.converge_bgp()
+        prov.remove_vpn("wave")
+        assert {s.site_id for s in corp.sites} == anchors
+        incremental = _vrf_snapshot(prov)
+        assert incremental == _oracle_snapshot(prov, set(), rr_clusters=rr)
+
+
+# ----------------------------------------------------------------------
+# RFC 4456: RR clusters — sessions, fan-out, loop suppression
+# ----------------------------------------------------------------------
+class TestRrClusters:
+    def test_degenerate_single_pe(self):
+        net, pes = _pe_mesh(1)
+        engine = MpBgp(net, pes)
+        assert engine.session_count() == 0
+        assert engine.fanout("pe0") == (0, 0)
+        assert engine.converge().updates_sent == 0
+
+    def test_full_mesh_sessions(self):
+        net, pes = _pe_mesh(8)
+        engine = MpBgp(net, pes)
+        assert engine.session_count() == 8 * 7 // 2
+        assert engine.fanout("pe3") == (7, 0)
+
+    def test_route_reflector_sugar_is_one_cluster(self):
+        net, pes = _pe_mesh(8)
+        engine = MpBgp(net, pes, route_reflector="pe0")
+        assert engine.rr_clusters == (("pe0",),)
+        assert engine.reflectors == {"pe0"}
+        assert engine.session_count() == 7          # n-1
+        # Client origin: 1 to the RR + reflection to the other n-2.
+        assert engine.fanout("pe1") == (7, 0)
+        # RR origin: straight to its n-1 clients, no reflection leg.
+        assert engine.fanout("pe0") == (7, 0)
+
+    def test_two_single_rr_clusters(self):
+        net, pes = _pe_mesh(8)
+        engine = MpBgp(net, pes, rr_clusters=["pe0", "pe1"])
+        # 6 clients with one RR each + the RR-RR mesh session.
+        assert engine.session_count() == 7
+        client = next(n for n in ("pe2", "pe3") if n not in engine.reflectors)
+        sent, suppressed = engine.fanout(client)
+        assert (sent, suppressed) == (7, 0)
+        assert engine.fanout("pe0") == (7, 0)
+        # Everyone hears exactly one copy.
+        receivers, _, _ = engine._propagate(client)
+        assert len(receivers) == 7
+
+    def test_redundant_rr_pair_suppresses_partner_copies(self):
+        net, pes = _pe_mesh(8)
+        engine = MpBgp(net, pes, rr_clusters=[("pe0", "pe1")])
+        # 6 clients × 2 RRs + 1 RR-RR session.
+        assert engine.session_count() == 13
+        sent, suppressed = engine.fanout("pe2")
+        # Each RR reflects to the other 5 clients + its co-RR; the co-RR
+        # copies carry the cluster id already and are dropped (RFC 4456).
+        assert (sent, suppressed) == (14, 2)
+        receivers, _, _ = engine._propagate("pe2")
+        assert len(receivers) == 7
+
+    def test_two_redundant_clusters(self):
+        net, pes = _pe_mesh(8)
+        engine = MpBgp(net, pes, rr_clusters=[("pe0", "pe1"), ("pe2", "pe3")])
+        # 4 clients × 2 RRs + C(4,2) RR mesh sessions.
+        assert engine.session_count() == 4 * 2 + 6
+        sent, suppressed = engine.fanout("pe4")
+        assert (sent, suppressed) == (14, 2)
+        receivers, _, _ = engine._propagate("pe4")
+        assert len(receivers) == 7
+
+    def test_validation(self):
+        net, pes = _pe_mesh(4)
+        with pytest.raises(ValueError, match="not both"):
+            MpBgp(net, pes, route_reflector="pe0", rr_clusters=["pe1"])
+        with pytest.raises(ValueError, match="is not a PE"):
+            MpBgp(net, pes, rr_clusters=["nope"])
+        with pytest.raises(ValueError, match="two clusters"):
+            MpBgp(net, pes, rr_clusters=["pe0", ("pe0", "pe1")])
+        with pytest.raises(ValueError, match="empty RR cluster"):
+            MpBgp(net, pes, rr_clusters=[()])
+
+    def test_cannot_drain_a_reflector(self):
+        net, pes, prov = _world(4, rr_clusters=["pe0"])
+        with pytest.raises(ValueError, match="route reflector"):
+            prov.drain_pe("pe0")
+
+
+# ----------------------------------------------------------------------
+# Deterministic churn-vs-oracle cases (fast smoke for the property)
+# ----------------------------------------------------------------------
+class TestChurnDeterministic:
+    def test_site_withdraw_then_readvertise(self):
+        net, pes, prov = _world(3)
+        engine = prov.bgp_engine()
+        extra = prov.add_site(prov.vpns["corp"], pes[0], num_hosts=0)
+        engine.export_delta(pes[0], pes[0].vrfs["corp"])
+        full = _vrf_snapshot(prov)
+        # Selective withdraw: only that site's NLRI leave the other VRFs;
+        # the locals stay (withdraw is the control-plane half only).
+        engine.withdraw(pes[0], vrf="corp", site=extra.site_id)
+        for pe in pes[1:]:
+            assert extra.prefix not in pe.vrfs["corp"].routes()
+        assert extra.prefix in pes[0].vrfs["corp"].routes()
+        # Re-advertising the unchanged locals restores everything.
+        engine.export_delta(pes[0], pes[0].vrfs["corp"])
+        assert _vrf_snapshot(prov) == full
+
+    def test_drain_restore_roundtrip(self):
+        net, pes, prov = _world(4)
+        before = _vrf_snapshot(prov)
+        prov.drain_pe(pes[2])
+        assert prov.bgp_engine().drained == {"pe2"}
+        # Everyone forgot pe2's routes; pe2 forgot everyone's.
+        for pe in pes:
+            for vrf in pe.vrfs.values():
+                for route in vrf.routes().values():
+                    assert route.kind == "local" or pe.name != "pe2"
+        prov.restore_pe(pes[2])
+        assert _vrf_snapshot(prov) == before
+
+    def test_peer_down_twice_is_idempotent(self):
+        net, pes, prov = _world(3)
+        prov.drain_pe(pes[0])
+        counters = net.counters.snapshot()
+        again = prov.drain_pe(pes[0])
+        assert again.updates_sent == 0 and again.routes_removed == 0
+        assert net.counters.snapshot() == counters
+
+    def test_export_delta_rejects_drained_pe(self):
+        net, pes, prov = _world(3)
+        prov.drain_pe(pes[1])
+        with pytest.raises(ValueError, match="drained"):
+            prov.bgp_engine().export_delta(pes[1], pes[1].vrfs["corp"])
+
+    def test_forget_vrf_requires_withdraw_first(self):
+        net, pes, prov = _world(2)
+        with pytest.raises(ValueError, match="withdraw first"):
+            prov.bgp_engine().forget_vrf(pes[0], "corp")
+
+
+# ----------------------------------------------------------------------
+# The property: incremental churn ≡ clear + full converge
+# ----------------------------------------------------------------------
+OP_KINDS = ("site+", "site-", "flap", "dup+", "vpn+", "vpn-", "drain", "restore")
+
+
+def _apply_op(prov, pes, engine, anchors, drained, op, state):
+    """Interpret one (kind, a, b) op; indices select modulo the currently
+    valid choices, and ops with no valid target are skipped — standard
+    stateful-testing interpretation so every drawn sequence is runnable."""
+    kind, a, b = op
+    vpns = [prov.vpns[name] for name in sorted(prov.vpns)]
+    up_pes = [pe for pe in pes if pe.name not in drained]
+    removable = [
+        (v, s)
+        for v in vpns
+        for s in v.sites
+        if s.site_id not in anchors and s.pe.name not in drained
+    ]
+
+    if kind == "site+":
+        if not up_pes:
+            return
+        v, pe = vpns[a % len(vpns)], up_pes[b % len(up_pes)]
+        prov.add_site(v, pe, num_hosts=0)
+        engine.export_delta(pe, pe.vrfs[v.name])
+    elif kind == "site-":
+        if not removable:
+            return
+        _, site = removable[a % len(removable)]
+        prov.remove_site(site)        # provisioner pushes the delta
+    elif kind == "flap":
+        if not removable or not up_pes:
+            return
+        v, site = removable[a % len(removable)]
+        prov.remove_site(site)
+        pe = up_pes[b % len(up_pes)]  # may re-home the site on another PE
+        prov.add_site(v, pe, prefix=site.prefix, num_hosts=0)
+        engine.export_delta(pe, pe.vrfs[v.name])
+    elif kind == "dup+":
+        # Same prefix advertised by a second origin PE: exercises the
+        # winner tie-break that keeps incremental == full-converge order.
+        sites = [(v, s) for v in vpns for s in v.sites]
+        if not sites:
+            return
+        v, site = sites[a % len(sites)]
+        others = [pe for pe in up_pes if pe.name != site.pe.name]
+        if not others:
+            return
+        pe = others[b % len(others)]
+        prov.add_site(v, pe, prefix=site.prefix, num_hosts=0)
+        engine.export_delta(pe, pe.vrfs[v.name])
+    elif kind == "vpn+":
+        if len(prov.vpns) >= 3 or len(up_pes) < 2:
+            return
+        name = f"x{state['vpn_seq']}"
+        state["vpn_seq"] += 1
+        v = prov.create_vpn(name)
+        for pe in (up_pes[a % len(up_pes)], up_pes[b % len(up_pes)]):
+            prov.add_site(v, pe, num_hosts=0)
+            engine.export_delta(pe, pe.vrfs[name])
+    elif kind == "vpn-":
+        extras = [
+            name for name in sorted(prov.vpns)
+            if name != "corp"
+            and not any(s.pe.name in drained for s in prov.vpns[name].sites)
+        ]
+        if not extras:
+            return
+        prov.remove_vpn(extras[a % len(extras)])
+    elif kind == "drain":
+        candidates = [
+            pe.name for pe in up_pes if pe.name not in engine.reflectors
+        ]
+        if len(drained) >= len(pes) - 1 or not candidates:
+            return
+        name = candidates[a % len(candidates)]
+        prov.drain_pe(name)
+        drained.add(name)
+    elif kind == "restore":
+        if not drained:
+            return
+        name = sorted(drained)[a % len(drained)]
+        prov.restore_pe(name)
+        drained.discard(name)
+
+
+class TestIncrementalMatchesFullConverge:
+    @pytest.mark.parametrize(
+        "rr_clusters", [None, ["pe0"]], ids=["full-mesh", "rr"]
+    )
+    @slow_settings
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(OP_KINDS),
+                st.integers(min_value=0, max_value=11),
+                st.integers(min_value=0, max_value=11),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_random_churn_sequences(self, rr_clusters, ops):
+        net, pes, prov = _world(4, rr_clusters=rr_clusters)
+        engine = prov.bgp_engine(rr_clusters=rr_clusters)
+        anchors = {s.site_id for s in prov.vpns["corp"].sites}
+        drained: set[str] = set()
+        state = {"vpn_seq": 0}
+        for op in ops:
+            _apply_op(prov, pes, engine, anchors, drained, op, state)
+        # The Adj-RIB exactly mirrors what the PEs are exporting.
+        assert engine.adj_rib_size() == sum(
+            len(vrf.local_routes())
+            for pe in prov.pes() for vrf in pe.vrfs.values()
+        )
+        incremental = _vrf_snapshot(prov)
+        assert incremental == _oracle_snapshot(
+            prov, drained, rr_clusters=rr_clusters
+        )

@@ -257,8 +257,9 @@ def test_columnar_labeled_core_matches_scalar(spec) -> None:
 
 
 # ----------------------------------------------------------------------
-# Observability on: the columnar gate must close, and the hoisted-loop
-# tier must interleave flight-recorder records exactly like scalar mode.
+# Observability on: the columnar tier stays engaged with a flight
+# recorder attached — the apply pass itself must interleave records
+# exactly like scalar mode (per-row rx/label ops, per-packet sends).
 # ----------------------------------------------------------------------
 
 
@@ -312,6 +313,33 @@ def test_obs_enabled_batch_parity(spec) -> None:
     slow_snap, slow_trace = _run_traced(spec, vector=False)
     assert fast_trace == slow_trace
     assert fast_snap == slow_snap
+
+
+def test_traced_burst_takes_columnar_path(monkeypatch) -> None:
+    """A flight recorder must not push big bursts off the columnar tier.
+
+    Regression guard for the old gate, which fell back to the hoisted
+    scalar loop whenever a recorder or drop subscriber was attached.
+    """
+    calls: list[int] = []
+    orig = pipeline_mod.ForwardingPipeline._ingress_columns
+
+    def spy(self, items):
+        calls.append(len(items))
+        return orig(self, items)
+
+    monkeypatch.setattr(
+        pipeline_mod.ForwardingPipeline, "_ingress_columns", spy
+    )
+    spec = [("ip", 64, 0, 0), ("swap", 64, 10, 1),
+            ("vrf_corp", 64, 46, 0), ("pop", 2, 26, 2)] * 4
+    snap, trace = _run_traced(spec, vector=True)
+    assert calls and max(calls) >= 4
+    # The columnar apply pass really emitted records: per-row receives
+    # and at least one label operation from the traced burst.
+    events = {ev[2] for ev in trace}
+    assert "rx" in events
+    assert events & {"swap", "pop", "push"}
 
 
 # ----------------------------------------------------------------------

@@ -149,10 +149,13 @@ def test_warm_start_base_keys() -> None:
     """Base keys capture exactly what a task's build does not vary with."""
     from repro.sweep.runner import base_key
 
-    e1, e2, e5, _ = _small_grid()
+    e1, e2, e5, _, e15 = _small_grid()
     assert base_key(e1) == "e1/mpls/10"
     assert base_key(e2) == "e2/mpls-diffserv"
     assert base_key(e5) == "e5/full"
+    # Churn mutates its base, so e15 gets its own snapshot-restore key —
+    # never e1's shared live-tier base.
+    assert base_key(e15) == "e15/10"
     assert base_key({"scenario": "nope", "params": {}}) is None
 
 

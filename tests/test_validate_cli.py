@@ -97,7 +97,7 @@ class TestValidate:
 
 class TestCli:
     def test_every_experiment_registered(self):
-        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 15)} | {"eh"}
+        assert set(EXPERIMENTS) == {f"e{i}" for i in range(1, 16)} | {"eh"}
 
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
